@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 14: normalized GNN training throughput of all eight
+ * platforms on the five workloads, normalized to the CPU-centric
+ * baseline. Also prints the Table II system configuration and the
+ * Table III workload parameters the run uses.
+ *
+ * Paper reference points (averages over the five workloads):
+ *   SmartSage 2.11x, GLIST 1.42x, BG-1 2.35x,
+ *   BG-SP = 5.47x over BG-1, BG-DGSP = +20% over BG-SP (w/ DG),
+ *   BG-2 = +41% over BG-DGSP, overall 21.70x (up to 27.3x).
+ */
+
+#include "common.h"
+
+using namespace bench;
+
+int
+main()
+{
+    banner("Figure 14: normalized throughput (baseline = CC)");
+
+    ssd::SystemConfig sys;
+    std::printf("Table II system: %u channels x %u dies, %u KB pages, "
+                "tR=%.0f us, %.0f MB/s/channel,\n"
+                "  %u cores, DRAM %.1f GB/s, PCIe %.1f GB/s, "
+                "SSD accel 32x32 @0.5 GHz, TPU 128x128 @0.94 GHz\n",
+                sys.flash.channels, sys.flash.diesPerChannel,
+                sys.flash.pageSize / 1024,
+                sim::toMicros(sys.flash.readLatency),
+                sys.flash.channelMBps, sys.controller.cores,
+                sys.controller.dramMBps / 1000.0,
+                sys.host.pcieMBps / 1000.0);
+    rule();
+
+    std::printf("Table III workloads (synthetic stand-ins, DESIGN.md "
+                "section 1):\n");
+    std::printf("%-10s %9s %8s %8s %10s\n", "dataset", "sim-nodes",
+                "avg-deg", "featdim", "paper-GB");
+    for (const auto &name : workloadNames()) {
+        const auto &s = graph::workload(name);
+        std::printf("%-10s %9u %8.0f %8u %10.1f\n", s.name.c_str(),
+                    s.simNodes, s.avgDegree, s.featureDim, s.paperRawGB);
+    }
+    rule();
+
+    RunConfig rc = defaultRun();
+    std::printf("%-10s", "platform");
+    for (const auto &w : workloadNames())
+        std::printf(" %9s", w.c_str());
+    std::printf(" %9s %9s\n", "mean", "paper");
+
+    // Paper-reported mean normalized throughputs (Fig. 14 text).
+    std::map<PlatformKind, double> paper_mean = {
+        {PlatformKind::CC, 1.0},        {PlatformKind::SmartSage, 2.11},
+        {PlatformKind::GLIST, 1.42},    {PlatformKind::BG1, 2.35},
+        {PlatformKind::BG_DG, 2.49},    {PlatformKind::BG_SP, 12.85},
+        {PlatformKind::BG_DGSP, 15.42}, {PlatformKind::BG2, 21.70},
+    };
+
+    std::map<std::string, double> cc_thr;
+    for (auto kind : platforms::allPlatforms()) {
+        auto p = platforms::makePlatform(kind);
+        std::printf("%-10s", p.name.c_str());
+        double geo = 0;
+        for (const auto &w : workloadNames()) {
+            RunResult r = runPlatform(p, rc, bundle(w));
+            if (kind == PlatformKind::CC)
+                cc_thr[w] = r.throughput;
+            double norm = r.throughput / cc_thr[w];
+            std::printf(" %9.2f", norm);
+            geo += norm;
+        }
+        geo /= static_cast<double>(workloadNames().size());
+        std::printf(" %9.2f %9.2f\n", geo, paper_mean[kind]);
+    }
+    rule();
+    std::printf("Shape targets: every BG-X step improves on its base; "
+                "SmartSage > GLIST;\nBG-SP is the largest single jump; "
+                "BG-2 is best overall.\n");
+    return 0;
+}

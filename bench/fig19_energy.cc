@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 19: energy breakdown and energy efficiency on amazon.
+ *
+ * Paper reference points: CC spends 57% of energy moving data off
+ * storage; BG-1/BG-DG spend ~75% transferring whole pages to SSD
+ * DRAM (channel + DRAM); BG-SP.. BG-2 eliminate that and split ~57%
+ * flash backend / 43% DRAM buffer + accelerator. BG-2 is 9.86x /
+ * 4.25x more energy-efficient than CC / BG-1 and draws ~13.4 W on
+ * average, far below the 75 W PCIe limit.
+ */
+
+#include "common.h"
+
+using namespace bench;
+
+int
+main()
+{
+    banner("Figure 19: energy breakdown + efficiency, amazon");
+    RunConfig rc = defaultRun();
+    const auto &b = bundle("amazon");
+
+    std::printf("%-10s %8s %8s %8s %8s %8s %8s %8s %8s | %9s %8s %7s\n",
+                "platform", "flash", "chan", "dram", "pcie", "cores",
+                "host", "accel", "bkgnd", "mJ/target", "eff-x", "avg-W");
+    double cc_eff = 0, bg1_eff = 0, bg2_eff = 0, bg2_w = 0;
+    for (auto kind : platforms::allPlatforms()) {
+        auto p = platforms::makePlatform(kind);
+        RunResult r = runPlatform(p, rc, b);
+        const auto &e = r.energy;
+        double total = e.total();
+        auto pct = [&](double x) { return 100.0 * x / total; };
+        double per_target =
+            1000.0 * total / static_cast<double>(r.targets);
+        double eff = 1.0 / per_target; // Targets per mJ.
+        if (kind == PlatformKind::CC)
+            cc_eff = eff;
+        if (kind == PlatformKind::BG1)
+            bg1_eff = eff;
+        if (kind == PlatformKind::BG2) {
+            bg2_eff = eff;
+            bg2_w = r.avgPowerW;
+        }
+        std::printf("%-10s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% "
+                    "%7.1f%% %7.1f%% %7.1f%% | %9.3f %8.2f %7.1f\n",
+                    p.name.c_str(), pct(e.flash), pct(e.channel),
+                    pct(e.dram), pct(e.pcie), pct(e.cores),
+                    pct(e.hostCpu), pct(e.accel + e.engines),
+                    pct(e.background), per_target, eff / cc_eff,
+                    r.avgPowerW);
+    }
+    rule();
+    std::printf("BG-2 efficiency vs CC: %.2fx (paper 9.86x); vs BG-1: "
+                "%.2fx (paper 4.25x)\n",
+                bg2_eff / cc_eff, bg2_eff / bg1_eff);
+    std::printf("BG-2 average power: %.1f W (paper 13.4 W; PCIe limit "
+                "75 W)\n",
+                bg2_w);
+    return 0;
+}

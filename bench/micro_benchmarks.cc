@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): event-queue
+ * throughput, DirectGraph construction, section decode, die-sampler
+ * execution, systolic estimation and end-to-end mini-batch prep.
+ * These guard against performance regressions of the simulator
+ * itself (not of the modelled system).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "directgraph/builder.h"
+#include "directgraph/source.h"
+#include "engines/die_sampler.h"
+#include "graph/generator.h"
+#include "platforms/runner.h"
+#include "sim/event_queue.h"
+
+using namespace beacongnn;
+
+namespace {
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue q;
+        std::uint64_t fired = 0;
+        for (int i = 0; i < 10000; ++i)
+            q.schedule(static_cast<sim::Tick>((i * 37) % 1000),
+                       [&fired] { ++fired; });
+        q.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventQueue);
+
+graph::Graph &
+benchGraph()
+{
+    static graph::Graph g = [] {
+        graph::GeneratorParams p;
+        p.nodes = 20000;
+        p.avgDegree = 64;
+        p.maxDegree = 20000;
+        return graph::generatePowerLaw(p);
+    }();
+    return g;
+}
+
+void
+BM_DirectGraphBuild(benchmark::State &state)
+{
+    flash::FlashConfig cfg;
+    graph::FeatureTable feat(128, 1);
+    ssd::Ftl ftl(cfg);
+    auto blocks = ftl.reserveBlocks(512);
+    for (auto _ : state) {
+        auto layout = dg::buildLayout(benchGraph(), feat, cfg, blocks);
+        benchmark::DoNotOptimize(layout.pages.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            benchGraph().numNodes());
+}
+BENCHMARK(BM_DirectGraphBuild);
+
+void
+BM_SectionDecode(benchmark::State &state)
+{
+    std::vector<std::uint8_t> page(4096, 0);
+    std::vector<dg::SecondaryRef> secs = {{dg::DgAddress(9, 1), 500}};
+    std::vector<std::uint8_t> feat(256, 7);
+    std::vector<dg::DgAddress> nbrs;
+    for (std::uint32_t i = 0; i < 500; ++i)
+        nbrs.emplace_back(i, i % 16);
+    dg::encodePrimary(page, 1, 1000, secs, feat, nbrs);
+    for (auto _ : state) {
+        auto sec = dg::decodeSection(page, 0, 128);
+        benchmark::DoNotOptimize(sec->neighborAddrs.size());
+    }
+}
+BENCHMARK(BM_SectionDecode);
+
+void
+BM_DieSampler(benchmark::State &state)
+{
+    flash::FlashConfig cfg;
+    graph::FeatureTable feat(128, 1);
+    ssd::Ftl ftl(cfg);
+    auto blocks = ftl.reserveBlocks(512);
+    auto layout = dg::buildLayout(benchGraph(), feat, cfg, blocks);
+    dg::LayoutSource src(layout, benchGraph());
+    ssd::EngineConfig ecfg;
+    flash::GnnGlobalConfig gcfg;
+    engines::DieSampler sampler(ecfg, gcfg);
+    std::uint64_t node = 0;
+    for (auto _ : state) {
+        flash::GnnSampleParams p;
+        dg::DgAddress a = layout.primaryOf(
+            static_cast<graph::NodeId>(node++ % 20000));
+        p.ppa = a.page();
+        p.sectionIndex = static_cast<std::uint8_t>(a.section());
+        p.sampleCount = 3;
+        p.retrieveFeature = true;
+        auto r = sampler.execute(src.fetch(a), p);
+        benchmark::DoNotOptimize(r.follow.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DieSampler);
+
+void
+BM_SystolicEstimate(benchmark::State &state)
+{
+    accel::SystolicConfig cfg;
+    for (auto _ : state) {
+        auto e = accel::estimateGemm(cfg, gnn::GemmShape{5120, 128, 602});
+        benchmark::DoNotOptimize(e.cycles);
+    }
+}
+BENCHMARK(BM_SystolicEstimate);
+
+void
+BM_MiniBatchPrepBg2(benchmark::State &state)
+{
+    gnn::ModelConfig model;
+    model.hops = 3;
+    model.fanout = 3;
+    ssd::SystemConfig sys;
+    auto spec = graph::workload("amazon");
+    spec.simNodes = 10000;
+    static auto bundle_ptr =
+        platforms::makeBundle(spec, sys.flash, model);
+    const platforms::WorkloadBundle &bundle = *bundle_ptr;
+    platforms::RunConfig rc;
+    rc.batchSize = 64;
+    rc.batches = 1;
+    auto p = platforms::makePlatform(platforms::PlatformKind::BG2);
+    for (auto _ : state) {
+        auto r = platforms::runPlatform(p, rc, bundle);
+        benchmark::DoNotOptimize(r.totalTime);
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_MiniBatchPrepBg2);
+
+} // namespace
+
+BENCHMARK_MAIN();

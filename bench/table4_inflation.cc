@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Table IV: storage inflation of the DirectGraph conversion for each
+ * workload — extra flash consumed (page-granular) over the raw
+ * dataset volume.
+ *
+ * Paper: reddit 2.8%, amazon 4.1%, movielens 3.5%, OGBN 32.3%,
+ * PPI 3.5%. OGBN inflates most because its low average degree (28)
+ * yields short sections that leave page space unusable even after
+ * compaction; the shape target is OGBN >> the others.
+ */
+
+#include "common.h"
+
+using namespace bench;
+
+int
+main()
+{
+    banner("Table IV: DirectGraph storage inflation");
+    std::printf("%-10s %10s %12s %12s %10s %10s %12s\n", "dataset",
+                "paper-GB", "sim-raw-MB", "flash-MB", "measured",
+                "paper", "2nd-pages");
+    for (const auto &name : workloadNames()) {
+        const auto &spec = graph::workload(name);
+        const auto &b = bundle(name);
+        const auto &st = b.layout.stats;
+        std::printf("%-10s %10.1f %12.1f %12.1f %9.1f%% %9.1f%% %12llu\n",
+                    name.c_str(), spec.paperRawGB,
+                    st.rawBytes / 1048576.0, st.flashBytes / 1048576.0,
+                    st.inflatePct(), spec.paperInflatePct,
+                    static_cast<unsigned long long>(
+                        st.secondaryPages));
+    }
+    rule();
+    std::printf("Shape target: OGBN inflates far more than the other "
+                "four (short sections\nfrom its low degree leave page "
+                "space stranded); the rest stay in single\ndigits.\n");
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Real-time GNN query serving (§VIII "Support for GNN query"):
+ * small-batch inference where latency, not throughput, matters.
+ * BeaconGNN reduces host-SSD communication to one round and avoids
+ * channel congestion, which shows up as tail-latency improvements on
+ * single-target queries.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/beacongnn.h"
+#include "graph/generator.h"
+
+using namespace beacongnn;
+
+namespace {
+
+struct LatencyStats
+{
+    double p50, p95, mean;
+};
+
+LatencyStats
+serveQueries(platforms::PlatformKind kind, const graph::Graph &g,
+             const graph::FeatureTable &features, int queries)
+{
+    SystemOptions opts;
+    opts.platform = kind;
+    opts.model.hops = 2; // Query models are shallower (latency SLO).
+    opts.model.fanout = 5;
+    opts.model.hiddenDim = 128;
+    BeaconGnnSystem sys(g, features, opts);
+
+    std::vector<double> lat;
+    sim::Pcg32 rng(99);
+    for (int q = 0; q < queries; ++q) {
+        std::vector<graph::NodeId> target = {rng.below(g.numNodes())};
+        MiniBatchResult r = sys.runMiniBatch(target);
+        lat.push_back(sim::toMicros((r.prep.finish - r.prep.start) +
+                                    r.computeTime));
+    }
+    std::sort(lat.begin(), lat.end());
+    double sum = 0;
+    for (double v : lat)
+        sum += v;
+    return {lat[lat.size() / 2], lat[lat.size() * 95 / 100],
+            sum / lat.size()};
+}
+
+} // namespace
+
+int
+main()
+{
+    graph::GeneratorParams gp;
+    gp.nodes = 20000;
+    gp.avgDegree = 64;
+    gp.maxDegree = 8000;
+    gp.seed = 5;
+    graph::Graph g = graph::generatePowerLaw(gp);
+    graph::FeatureTable features(128, gp.seed);
+
+    std::printf("GNN query serving: 2-hop fanout-5 subgraphs, single-"
+                "target batches,\n%u-node graph, 200 queries per "
+                "platform.\n\n",
+                g.numNodes());
+    std::printf("%-12s %12s %12s %12s\n", "platform", "p50 (us)",
+                "p95 (us)", "mean (us)");
+
+    double cc_mean = 0;
+    for (auto kind :
+         {platforms::PlatformKind::CC, platforms::PlatformKind::BG1,
+          platforms::PlatformKind::BG_DGSP,
+          platforms::PlatformKind::BG2}) {
+        LatencyStats s = serveQueries(kind, g, features, 200);
+        if (kind == platforms::PlatformKind::CC)
+            cc_mean = s.mean;
+        std::printf("%-12s %12.1f %12.1f %12.1f\n",
+                    platforms::platformName(kind).c_str(), s.p50, s.p95,
+                    s.mean);
+    }
+    std::printf("\nBG-2 reduces the host round trips to one per query "
+                "and keeps sampling\ninside the flash backend "
+                "(%.1fx mean latency vs CC in this setup).\n",
+                cc_mean /
+                    serveQueries(platforms::PlatformKind::BG2, g,
+                                 features, 50)
+                        .mean);
+    return 0;
+}

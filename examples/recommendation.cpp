@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Recommendation-system training (the motivating workload of §I):
+ * an amazon-like product co-purchase graph trained with GraphSage
+ * mini-batches. Compares the CPU-centric pipeline against BeaconGNN
+ * (BG-2) on throughput, energy per epoch and PCIe traffic — the
+ * practitioner-facing view of Fig. 14/19.
+ */
+
+#include <cstdio>
+
+#include "platforms/runner.h"
+
+using namespace beacongnn;
+using namespace beacongnn::platforms;
+
+int
+main()
+{
+    // Product graph in the amazon shape (Table III), scaled down.
+    auto spec = graph::workload("amazon");
+    spec.simNodes = 8000;
+
+    gnn::ModelConfig model;
+    model.hops = 3;
+    model.fanout = 3;
+    model.hiddenDim = 128;
+
+    ssd::SystemConfig sys;
+    auto bundle = makeBundle(spec, sys.flash, model);
+    std::printf("Product graph: %u products, avg degree %.0f, "
+                "%u-dim FP16 features\n",
+                bundle->graph.numNodes(), bundle->graph.avgDegree(),
+                bundle->features.dim());
+    std::printf("DirectGraph conversion: %.1f MB raw -> %.1f MB flash "
+                "(%.1f%% inflation)\n\n",
+                bundle->layout.stats.rawBytes / 1048576.0,
+                bundle->layout.stats.flashBytes / 1048576.0,
+                bundle->layout.stats.inflatePct());
+
+    RunConfig rc;
+    rc.batchSize = 256;
+    rc.batches = 8; // One "epoch slice" of 2048 targets.
+
+    std::printf("%-12s %14s %12s %12s %14s %10s\n", "platform",
+                "targets/s", "ms/epoch", "mJ/target", "PCIe MB/epoch",
+                "avg W");
+    RunResult cc, bg2;
+    for (auto kind : {PlatformKind::CC, PlatformKind::SmartSage,
+                      PlatformKind::GLIST, PlatformKind::BG2}) {
+        auto p = makePlatform(kind);
+        RunResult r = runPlatform(p, rc, *bundle);
+        if (kind == PlatformKind::CC)
+            cc = r;
+        if (kind == PlatformKind::BG2)
+            bg2 = r;
+        std::printf("%-12s %14.0f %12.2f %12.3f %14.2f %10.1f\n",
+                    p.name.c_str(), r.throughput,
+                    sim::toMillis(r.totalTime),
+                    1000.0 * r.energy.total() / r.targets,
+                    r.tally.pcieBytes / 1048576.0, r.avgPowerW);
+    }
+
+    std::printf("\nBeaconGNN-2.0 vs the CPU-centric pipeline:\n");
+    std::printf("  %.1fx training throughput\n",
+                bg2.throughput / cc.throughput);
+    std::printf("  %.1fx better energy per target\n",
+                (cc.energy.total() / cc.targets) /
+                    (bg2.energy.total() / bg2.targets));
+    if (bg2.tally.pcieBytes == 0) {
+        std::printf("  %.0f MB of PCIe traffic eliminated entirely\n",
+                    cc.tally.pcieBytes / 1048576.0);
+    } else {
+        std::printf("  %.0fx less PCIe traffic\n",
+                    static_cast<double>(cc.tally.pcieBytes) /
+                        static_cast<double>(bg2.tally.pcieBytes));
+    }
+    return 0;
+}

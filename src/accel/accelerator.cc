@@ -1,0 +1,33 @@
+#include "accel/accelerator.h"
+
+namespace beacongnn::accel {
+
+AcceleratorConfig
+ssdAcceleratorConfig()
+{
+    AcceleratorConfig cfg;
+    cfg.name = "ssd-accel";
+    cfg.systolic.rows = 32;
+    cfg.systolic.cols = 32;
+    cfg.systolic.freqGHz = 0.5;
+    cfg.vectorLanes = 64;
+    cfg.vectorFreqGHz = 0.5;
+    cfg.sramKiB = 512;
+    return cfg;
+}
+
+AcceleratorConfig
+discreteTpuConfig()
+{
+    AcceleratorConfig cfg;
+    cfg.name = "discrete-tpu";
+    cfg.systolic.rows = 128;
+    cfg.systolic.cols = 128;
+    cfg.systolic.freqGHz = 0.94;
+    cfg.vectorLanes = 1024;
+    cfg.vectorFreqGHz = 0.94;
+    cfg.sramKiB = 24 * 1024;
+    return cfg;
+}
+
+} // namespace beacongnn::accel

@@ -1,0 +1,54 @@
+#include "accel/systolic.h"
+
+#include <cmath>
+
+namespace beacongnn::accel {
+
+GemmEstimate
+estimateGemm(const SystolicConfig &cfg, const gnn::GemmShape &g)
+{
+    GemmEstimate e;
+    if (g.m == 0 || g.n == 0 || g.k == 0)
+        return e;
+    e.macs = g.m * g.n * g.k;
+    if (cfg.dataflow == Dataflow::WeightStationary) {
+        std::uint64_t k_tiles = (g.k + cfg.rows - 1) / cfg.rows;
+        std::uint64_t n_tiles = (g.n + cfg.cols - 1) / cfg.cols;
+        std::uint64_t tiles = k_tiles * n_tiles;
+        // Per tile: R cycles weight load, M streaming cycles,
+        // R + C - 2 fill/drain skew.
+        std::uint64_t per_tile =
+            cfg.rows + g.m + cfg.rows + cfg.cols - 2;
+        e.cycles = tiles * per_tile;
+        // Activations: M x K re-read per N tile; weights: K x N once;
+        // outputs: M x N partial sums accumulated per K tile.
+        e.sramReadBytes =
+            (g.m * g.k * n_tiles + g.k * g.n) * cfg.bytesPerElem;
+        e.sramWriteBytes = g.m * g.n * k_tiles * cfg.bytesPerElem;
+    } else {
+        // Output stationary: each PE owns one output element; a tile
+        // covers R x C outputs and streams the K dimension through.
+        std::uint64_t m_tiles = (g.m + cfg.rows - 1) / cfg.rows;
+        std::uint64_t n_tiles = (g.n + cfg.cols - 1) / cfg.cols;
+        std::uint64_t tiles = m_tiles * n_tiles;
+        std::uint64_t per_tile = g.k + cfg.rows + cfg.cols - 2;
+        e.cycles = tiles * per_tile;
+        // Both operands re-stream per tile; outputs written once.
+        e.sramReadBytes = (g.m * g.k * n_tiles +
+                           g.k * g.n * m_tiles) *
+                          cfg.bytesPerElem;
+        e.sramWriteBytes = g.m * g.n * cfg.bytesPerElem;
+    }
+    return e;
+}
+
+sim::Tick
+cyclesToTicks(const SystolicConfig &cfg, std::uint64_t cycles)
+{
+    if (cfg.freqGHz <= 0.0)
+        return 0;
+    return static_cast<sim::Tick>(
+        std::llround(static_cast<double>(cycles) / cfg.freqGHz));
+}
+
+} // namespace beacongnn::accel

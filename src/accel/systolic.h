@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Analytical weight-stationary systolic-array model (ScaleSim-2.0
+ * style, §VII-A "Performance modeling").
+ *
+ * A GEMM of shape M x N x K runs on an R x C array as
+ * ceil(K/R) * ceil(N/C) weight tiles; each tile loads its weights
+ * (R cycles) and streams the M activations through the array with a
+ * (R + C - 1)-cycle fill/drain skew:
+ *
+ *   cycles = tiles * (R + M + R + C - 2)
+ *
+ * SRAM traffic is counted per tile (activations re-fetched for every
+ * K/N tile pair, partial sums written per N tile), matching ScaleSim's
+ * double-buffered operand model.
+ */
+
+#ifndef BEACONGNN_ACCEL_SYSTOLIC_H
+#define BEACONGNN_ACCEL_SYSTOLIC_H
+
+#include <cstdint>
+
+#include "gnn/model.h"
+#include "sim/types.h"
+
+namespace beacongnn::accel {
+
+/** Mapping dataflow (ScaleSim-2.0 supports both). */
+enum class Dataflow : std::uint8_t
+{
+    WeightStationary, ///< Weights pinned; activations stream (default).
+    OutputStationary, ///< Outputs pinned; operands stream.
+};
+
+/** Geometry and clock of one systolic array. */
+struct SystolicConfig
+{
+    std::uint32_t rows = 32;  ///< R (WS: K dimension; OS: M).
+    std::uint32_t cols = 32;  ///< C (N dimension).
+    double freqGHz = 0.5;     ///< Clock frequency.
+    std::uint8_t bytesPerElem = 2; ///< FP16 operands.
+    Dataflow dataflow = Dataflow::WeightStationary;
+};
+
+/** Cycle/traffic estimate of one GEMM on one array. */
+struct GemmEstimate
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t macs = 0;
+    std::uint64_t sramReadBytes = 0;
+    std::uint64_t sramWriteBytes = 0;
+
+    /** Utilization of the MAC grid during the run. */
+    double
+    utilization(const SystolicConfig &cfg) const
+    {
+        if (cycles == 0)
+            return 0.0;
+        return static_cast<double>(macs) /
+               (static_cast<double>(cycles) * cfg.rows * cfg.cols);
+    }
+};
+
+/** Estimate one GEMM (M x N x K) on the array. */
+GemmEstimate estimateGemm(const SystolicConfig &cfg,
+                          const gnn::GemmShape &g);
+
+/** Convert cycles at the array clock to simulator ticks. */
+sim::Tick cyclesToTicks(const SystolicConfig &cfg, std::uint64_t cycles);
+
+} // namespace beacongnn::accel
+
+#endif // BEACONGNN_ACCEL_SYSTOLIC_H

@@ -1,0 +1,134 @@
+#include "accel/systolic_functional.h"
+
+#include "sim/log.h"
+
+namespace beacongnn::accel {
+
+namespace {
+
+/** A value flowing through the array, tagged with its M-row. */
+struct Tagged
+{
+    float v = 0.0f;
+    std::int64_t row = -1;
+    bool valid = false;
+};
+
+} // namespace
+
+FunctionalRunResult
+runSystolic(const SystolicConfig &cfg, std::uint32_t m, std::uint32_t n,
+            std::uint32_t k, const std::vector<float> &a,
+            const std::vector<float> &b)
+{
+    if (cfg.dataflow != Dataflow::WeightStationary)
+        sim::fatal("runSystolic: functional model implements the "
+                   "weight-stationary dataflow only");
+    if (a.size() != std::size_t{m} * k || b.size() != std::size_t{k} * n)
+        sim::fatal("runSystolic: operand shapes do not match m/n/k");
+
+    const std::uint32_t R = cfg.rows;
+    const std::uint32_t C = cfg.cols;
+    FunctionalRunResult res;
+    res.output.assign(std::size_t{m} * n, 0.0f);
+    if (m == 0 || n == 0 || k == 0)
+        return res;
+
+    const std::uint32_t k_tiles = (k + R - 1) / R;
+    const std::uint32_t n_tiles = (n + C - 1) / C;
+
+    std::vector<float> w(std::size_t{R} * C);
+    std::vector<Tagged> act(std::size_t{R} * C), act2(act.size());
+    std::vector<Tagged> psum(act.size()), psum2(act.size());
+    auto at = [C](std::uint32_t r, std::uint32_t c) {
+        return std::size_t{r} * C + c;
+    };
+
+    for (std::uint32_t kt = 0; kt < k_tiles; ++kt) {
+        for (std::uint32_t nt = 0; nt < n_tiles; ++nt) {
+            // ---- Weight load: R cycles to stream the tile in. ----
+            res.cycles += R;
+            for (std::uint32_t r = 0; r < R; ++r) {
+                for (std::uint32_t c = 0; c < C; ++c) {
+                    std::uint32_t kk = kt * R + r;
+                    std::uint32_t nn = nt * C + c;
+                    w[at(r, c)] = (kk < k && nn < n)
+                                      ? b[std::size_t{kk} * n + nn]
+                                      : 0.0f;
+                }
+            }
+            std::fill(act.begin(), act.end(), Tagged{});
+            std::fill(psum.begin(), psum.end(), Tagged{});
+
+            // ---- Stream M rows with the systolic skew. -----------
+            std::uint64_t stream_cycles =
+                std::uint64_t{m} + R + C - 2;
+            for (std::uint64_t t = 0; t < stream_cycles; ++t) {
+                for (std::uint32_t r = 0; r < R; ++r) {
+                    for (std::uint32_t c = 0; c < C; ++c) {
+                        // Activation: from the west edge (skewed) or
+                        // the left neighbour.
+                        Tagged in_act;
+                        if (c == 0) {
+                            std::int64_t i =
+                                static_cast<std::int64_t>(t) - r;
+                            if (i >= 0 && i < static_cast<std::int64_t>(m)) {
+                                std::uint32_t kk = kt * R + r;
+                                in_act.v =
+                                    kk < k ? a[static_cast<std::size_t>(
+                                                   i) * k + kk]
+                                           : 0.0f;
+                                in_act.row = i;
+                                in_act.valid = true;
+                            }
+                        } else {
+                            in_act = act[at(r, c - 1)];
+                        }
+                        // Partial sum: zero from the north edge or
+                        // the upper neighbour.
+                        Tagged in_psum;
+                        if (r == 0) {
+                            in_psum.v = 0.0f;
+                            in_psum.row = in_act.row;
+                            in_psum.valid = in_act.valid;
+                        } else {
+                            in_psum = psum[at(r - 1, c)];
+                        }
+
+                        Tagged out_psum;
+                        if (in_act.valid) {
+                            if (!in_psum.valid ||
+                                in_psum.row != in_act.row) {
+                                sim::panic(
+                                    "systolic skew misalignment");
+                            }
+                            out_psum.v =
+                                in_psum.v + w[at(r, c)] * in_act.v;
+                            out_psum.row = in_act.row;
+                            out_psum.valid = true;
+                            ++res.macs;
+                        }
+                        act2[at(r, c)] = in_act;
+                        psum2[at(r, c)] = out_psum;
+                    }
+                }
+                std::swap(act, act2);
+                std::swap(psum, psum2);
+                // Outputs drain from the bottom row.
+                for (std::uint32_t c = 0; c < C; ++c) {
+                    const Tagged &out = psum[at(R - 1, c)];
+                    std::uint32_t nn = nt * C + c;
+                    if (out.valid && nn < n) {
+                        res.output[static_cast<std::size_t>(out.row) *
+                                       n +
+                                   nn] += out.v;
+                    }
+                }
+            }
+            res.cycles += stream_cycles;
+        }
+    }
+    return res;
+}
+
+} // namespace beacongnn::accel

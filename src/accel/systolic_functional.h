@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Cycle-level *functional* weight-stationary systolic array.
+ *
+ * A PE-by-PE simulation of the array the analytical model
+ * (accel/systolic.h) summarizes: weights are pinned into the R x C
+ * grid, activations skew in from the left, partial sums flow down and
+ * accumulate, outputs drain at the bottom. It computes the actual
+ * GEMM result and counts the actual cycles, which the test suite
+ * compares against both a reference matrix multiply (functional
+ * correctness) and the analytical cycle formula (timing-model
+ * validation). Intended for small shapes — it is O(cycles * R * C).
+ */
+
+#ifndef BEACONGNN_ACCEL_SYSTOLIC_FUNCTIONAL_H
+#define BEACONGNN_ACCEL_SYSTOLIC_FUNCTIONAL_H
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/systolic.h"
+
+namespace beacongnn::accel {
+
+/** Result of a functional systolic run. */
+struct FunctionalRunResult
+{
+    /** Output matrix, row-major M x N. */
+    std::vector<float> output;
+    /** Cycles from first weight load to last output drained. */
+    std::uint64_t cycles = 0;
+    /** MACs actually performed (non-zero operand pairs included). */
+    std::uint64_t macs = 0;
+};
+
+/**
+ * Execute C = A x B on a weight-stationary R x C systolic array,
+ * cycle by cycle.
+ *
+ * @param cfg Array geometry (dataflow must be WeightStationary).
+ * @param m,n,k GEMM shape: A is m x k, B is k x n, C is m x n.
+ * @param a Row-major activations (m x k).
+ * @param b Row-major weights (k x n).
+ */
+FunctionalRunResult runSystolic(const SystolicConfig &cfg,
+                                std::uint32_t m, std::uint32_t n,
+                                std::uint32_t k,
+                                const std::vector<float> &a,
+                                const std::vector<float> &b);
+
+} // namespace beacongnn::accel
+
+#endif // BEACONGNN_ACCEL_SYSTOLIC_FUNCTIONAL_H

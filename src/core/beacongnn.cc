@@ -1,0 +1,131 @@
+#include "core/beacongnn.h"
+
+#include "sim/log.h"
+
+namespace beacongnn {
+
+BeaconGnnSystem::BeaconGnnSystem(graph::Graph g,
+                                 graph::FeatureTable features,
+                                 const SystemOptions &options)
+    : opts(options), _graph(std::move(g)), _features(std::move(features)),
+      _backend(opts.system.flash), _store(opts.system.flash),
+      _fw(opts.system),
+      _accel(platforms::makePlatform(opts.platform).ssdCompute
+                 ? accel::ssdAcceleratorConfig()
+                 : accel::discreteTpuConfig()),
+      _accelBus("accel")
+{
+    opts.model.featureDim = _features.dim();
+
+    // §VI-A: the host fetches reserved block addresses, converts the
+    // dataset and flushes it through the manipulation interface.
+    std::uint64_t raw = _graph.numEdges() * 4 +
+                        std::uint64_t{_graph.numNodes()} *
+                            _features.bytesPerNode();
+    std::uint64_t block_bytes =
+        std::uint64_t{opts.system.flash.pagesPerBlock} *
+        opts.system.flash.pageSize;
+    std::uint64_t want = std::max<std::uint64_t>(
+        (raw * 3) / block_bytes + 16,
+        opts.system.flash.totalDies() + 8);
+    _host = std::make_unique<ssd::HostInterface>(_fw);
+    // §VI-A flow: fetch the reserved block list, deliver the GNN
+    // configuration, convert, then flush through the verified path.
+    auto blocks = _host->getBlockList(0, want);
+    if (blocks.empty())
+        sim::fatal("BeaconGnnSystem: device too small for this graph");
+    _host->setGnnConfig(
+        0, flash::GnnGlobalConfig{opts.model.hops, opts.model.fanout,
+                                  opts.model.featureDim, 2,
+                                  opts.model.seed});
+
+    _layout = dg::buildLayout(_graph, _features, opts.system.flash,
+                              blocks);
+    // Hand unused reserved blocks back.
+    std::vector<flash::BlockId> unused(blocks.begin() +
+                                           _layout.blocks.size(),
+                                       blocks.end());
+    _fw.ftl().releaseBlocks(unused);
+
+    ssd::FlushResult flush = _host->flushDirectGraph(
+        0, _layout, _graph, _features, _store, _backend);
+    if (!flush.ok)
+        sim::fatal("BeaconGnnSystem: DirectGraph flush failed "
+                   "verification");
+    _flushTime = flush.finish;
+    _prepCursor = flush.finish;
+
+    _io = std::make_unique<ssd::IoPath>(_fw, _backend, _store);
+    _source = std::make_unique<dg::PageByteSource>(_store,
+                                                   _features.dim());
+    _engine = std::make_unique<engines::GnnEngine>(
+        _queue, _backend, _fw, _layout, _graph, opts.model,
+        platforms::makePlatform(opts.platform).flags, *_source);
+}
+
+BeaconGnnSystem::~BeaconGnnSystem() = default;
+
+MiniBatchResult
+BeaconGnnSystem::runMiniBatch(std::span<const graph::NodeId> targets)
+{
+    MiniBatchResult out;
+    bool got = false;
+    // The target list reaches the device as a SubmitBatch command.
+    _prepCursor = _host->submitBatch(_prepCursor, targets.size());
+    _engine->prepare(_prepCursor, _batchCounter++, targets,
+                     [&](engines::PrepResult &&r) {
+                         out.prep = std::move(r);
+                         got = true;
+                     });
+    _queue.run();
+    if (!got)
+        sim::panic("runMiniBatch: preparation did not complete");
+    _prepCursor = out.prep.finish;
+    // §VI-G: regular storage requests arriving during the mini-batch
+    // are deferred to its end.
+    _io->enterAccelerationMode(out.prep.finish);
+
+    // Functional forward pass on the sampled subgraph.
+    out.embeddings = gnn::forward(out.prep.subgraph, _features,
+                                  opts.model);
+
+    // Timing of the compute stage, pipelined behind the previous
+    // batch on the accelerator.
+    gnn::ComputeWorkload w =
+        gnn::measureCompute(out.prep.subgraph, opts.model);
+    accel::ComputeEstimate est = _accel.estimate(w);
+    sim::Grant grant = _accelBus.acquire(out.prep.finish, est.total());
+    out.computeTime = est.total();
+    out.finish = grant.end;
+    return out;
+}
+
+ssd::ScrubReport
+BeaconGnnSystem::scrub()
+{
+    return _fw.scrub(_layout, _graph, _features, _store);
+}
+
+bool
+BeaconGnnSystem::reclaimIfNeeded(double threshold)
+{
+    if (!_fw.ftl().needsReclaim(_store, threshold))
+        return false;
+    // Erase the old copy only after the migrated one is verified;
+    // reclaimDirectGraph handles the whole sequence.
+    ssd::ReclaimResult r = _fw.reclaimDirectGraph(
+        _prepCursor, _layout, _graph, _features, _store, _backend);
+    if (!r.ok)
+        return false;
+    _layout = std::move(r.layout);
+    _prepCursor = r.finish;
+    // Rebind the engine and source to the migrated layout.
+    _source = std::make_unique<dg::PageByteSource>(_store,
+                                                   _features.dim());
+    _engine = std::make_unique<engines::GnnEngine>(
+        _queue, _backend, _fw, _layout, _graph, opts.model,
+        platforms::makePlatform(opts.platform).flags, *_source);
+    return true;
+}
+
+} // namespace beacongnn

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * DirectGraph physical addressing (§IV-A).
+ *
+ * Each neighbour index maps to a 4-byte physical address: 28 bits of
+ * flash page index plus 4 bits of in-page section index (1 TB device
+ * with 4 KB pages: log2(1TB/4KB) = 28). Larger pages leave more bits
+ * for section indexing; we keep the 4-bit split of the paper's
+ * reference configuration, capping sections per page at 16.
+ */
+
+#ifndef BEACONGNN_DIRECTGRAPH_ADDRESS_H
+#define BEACONGNN_DIRECTGRAPH_ADDRESS_H
+
+#include <cstdint>
+
+#include "flash/address.h"
+
+namespace beacongnn::dg {
+
+/** Max sections addressable within one page (4-bit index). */
+inline constexpr unsigned kMaxSectionsPerPage = 16;
+
+/** Packed 4-byte DirectGraph address: page (28 b) | section (4 b). */
+struct DgAddress
+{
+    std::uint32_t raw = 0;
+
+    DgAddress() = default;
+    explicit constexpr DgAddress(std::uint32_t raw_bits) : raw(raw_bits) {}
+
+    constexpr
+    DgAddress(flash::Ppa page, unsigned section)
+        : raw((page << 4) | (section & 0xf))
+    {
+    }
+
+    constexpr flash::Ppa page() const { return raw >> 4; }
+    constexpr unsigned section() const { return raw & 0xf; }
+
+    constexpr bool operator==(const DgAddress &o) const
+    {
+        return raw == o.raw;
+    }
+    constexpr bool operator!=(const DgAddress &o) const
+    {
+        return raw != o.raw;
+    }
+};
+
+} // namespace beacongnn::dg
+
+#endif // BEACONGNN_DIRECTGRAPH_ADDRESS_H

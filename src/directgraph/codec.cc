@@ -1,0 +1,197 @@
+#include "directgraph/codec.h"
+
+#include <cstring>
+
+namespace beacongnn::dg {
+
+namespace {
+
+void
+put16(std::span<std::uint8_t> out, std::uint32_t off, std::uint16_t v)
+{
+    out[off] = static_cast<std::uint8_t>(v & 0xff);
+    out[off + 1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void
+put32(std::span<std::uint8_t> out, std::uint32_t off, std::uint32_t v)
+{
+    out[off] = static_cast<std::uint8_t>(v & 0xff);
+    out[off + 1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+    out[off + 2] = static_cast<std::uint8_t>((v >> 16) & 0xff);
+    out[off + 3] = static_cast<std::uint8_t>((v >> 24) & 0xff);
+}
+
+std::uint16_t
+get16(std::span<const std::uint8_t> in, std::uint32_t off)
+{
+    return static_cast<std::uint16_t>(in[off] | (in[off + 1] << 8));
+}
+
+std::uint32_t
+get32(std::span<const std::uint8_t> in, std::uint32_t off)
+{
+    return static_cast<std::uint32_t>(in[off]) |
+           (static_cast<std::uint32_t>(in[off + 1]) << 8) |
+           (static_cast<std::uint32_t>(in[off + 2]) << 16) |
+           (static_cast<std::uint32_t>(in[off + 3]) << 24);
+}
+
+} // namespace
+
+std::uint32_t
+encodePrimary(std::span<std::uint8_t> out, graph::NodeId node,
+              std::uint32_t degree,
+              std::span<const SecondaryRef> secondaries,
+              std::span<const std::uint8_t> feature,
+              std::span<const DgAddress> in_page)
+{
+    std::uint32_t size = primarySectionBytes(
+        static_cast<std::uint32_t>(secondaries.size()),
+        static_cast<std::uint32_t>(feature.size()),
+        static_cast<std::uint32_t>(in_page.size()));
+    out[0] = static_cast<std::uint8_t>(SectionType::Primary);
+    out[1] = feature.empty() ? 0 : 1;
+    put16(out, 2, static_cast<std::uint16_t>(size));
+    put32(out, 4, node);
+    put32(out, 8, degree);
+    put16(out, 12, static_cast<std::uint16_t>(secondaries.size()));
+    put16(out, 14, 0);
+
+    std::uint32_t off = kHeaderBytes;
+    for (const auto &s : secondaries) {
+        put32(out, off, s.addr.raw);
+        put32(out, off + 4, s.count);
+        off += kSecondaryRefBytes;
+    }
+    if (!feature.empty()) {
+        std::memcpy(out.data() + off, feature.data(), feature.size());
+        off += static_cast<std::uint32_t>(feature.size());
+    }
+    for (const auto &a : in_page) {
+        put32(out, off, a.raw);
+        off += kAddrBytes;
+    }
+    return off;
+}
+
+std::uint32_t
+encodeSecondary(std::span<std::uint8_t> out, graph::NodeId node,
+                std::span<const DgAddress> neighbors)
+{
+    std::uint32_t size =
+        secondarySectionBytes(static_cast<std::uint32_t>(neighbors.size()));
+    out[0] = static_cast<std::uint8_t>(SectionType::Secondary);
+    out[1] = 0;
+    put16(out, 2, static_cast<std::uint16_t>(size));
+    put32(out, 4, node);
+    put32(out, 8, static_cast<std::uint32_t>(neighbors.size()));
+    put16(out, 12, 0);
+    put16(out, 14, 0);
+
+    std::uint32_t off = kHeaderBytes;
+    for (const auto &a : neighbors) {
+        put32(out, off, a.raw);
+        off += kAddrBytes;
+    }
+    return off;
+}
+
+std::optional<SectionData>
+decodeSection(std::span<const std::uint8_t> page, std::uint32_t offset,
+              std::uint16_t feature_dim)
+{
+    if (offset + kHeaderBytes > page.size())
+        return std::nullopt;
+    auto type = page[offset];
+    if (type != static_cast<std::uint8_t>(SectionType::Primary) &&
+        type != static_cast<std::uint8_t>(SectionType::Secondary)) {
+        return std::nullopt;
+    }
+    SectionData s;
+    s.type = static_cast<SectionType>(type);
+    s.hasFeature = (page[offset + 1] & 1) != 0;
+    std::uint32_t size = get16(page, offset + 2);
+    if (size < kHeaderBytes || offset + size > page.size())
+        return std::nullopt;
+    s.node = get32(page, offset + 4);
+    s.totalNeighbors = get32(page, offset + 8);
+    std::uint32_t sec_count = get16(page, offset + 12);
+
+    std::uint32_t off = offset + kHeaderBytes;
+    if (s.type == SectionType::Primary) {
+        if (off + sec_count * kSecondaryRefBytes > offset + size)
+            return std::nullopt;
+        s.secondaries.reserve(sec_count);
+        for (std::uint32_t i = 0; i < sec_count; ++i) {
+            SecondaryRef r;
+            r.addr = DgAddress(get32(page, off));
+            r.count = get32(page, off + 4);
+            s.secondaries.push_back(r);
+            off += kSecondaryRefBytes;
+        }
+        std::uint32_t feat_bytes =
+            s.hasFeature ? std::uint32_t{feature_dim} * 2 : 0;
+        if (off + feat_bytes > offset + size)
+            return std::nullopt;
+        off += feat_bytes; // The feature body is opaque to the decoder.
+        std::uint32_t rest = offset + size - off;
+        if (rest % kAddrBytes != 0)
+            return std::nullopt;
+        s.inPage = rest / kAddrBytes;
+        s.neighborAddrs.reserve(s.inPage);
+        for (std::uint32_t i = 0; i < s.inPage; ++i) {
+            s.neighborAddrs.emplace_back(get32(page, off));
+            off += kAddrBytes;
+        }
+    } else {
+        std::uint32_t expect =
+            kHeaderBytes + s.totalNeighbors * kAddrBytes;
+        if (expect != size)
+            return std::nullopt;
+        s.neighborAddrs.reserve(s.totalNeighbors);
+        for (std::uint32_t i = 0; i < s.totalNeighbors; ++i) {
+            s.neighborAddrs.emplace_back(get32(page, off));
+            off += kAddrBytes;
+        }
+    }
+    return s;
+}
+
+std::optional<SectionData>
+findSection(std::span<const std::uint8_t> page, unsigned section_idx,
+            std::uint16_t feature_dim)
+{
+    std::uint32_t offset = 0;
+    for (unsigned idx = 0; idx <= section_idx; ++idx) {
+        if (offset + kHeaderBytes > page.size())
+            return std::nullopt;
+        auto sec = decodeSection(page, offset, feature_dim);
+        if (!sec)
+            return std::nullopt;
+        if (idx == section_idx)
+            return sec;
+        std::uint32_t size = get16(page, offset + 2);
+        offset += alignSection(size);
+    }
+    return std::nullopt;
+}
+
+std::vector<SectionData>
+decodePage(std::span<const std::uint8_t> page, std::uint16_t feature_dim)
+{
+    std::vector<SectionData> out;
+    std::uint32_t offset = 0;
+    while (offset + kHeaderBytes <= page.size() &&
+           out.size() < kMaxSectionsPerPage) {
+        auto sec = decodeSection(page, offset, feature_dim);
+        if (!sec)
+            break;
+        std::uint32_t size = get16(page, offset + 2);
+        out.push_back(std::move(*sec));
+        offset += alignSection(size);
+    }
+    return out;
+}
+
+} // namespace beacongnn::dg

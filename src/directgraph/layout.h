@@ -1,0 +1,117 @@
+/**
+ * @file
+ * DirectGraph layout structures: the logical description of where
+ * every node's primary and secondary sections live on flash, plus the
+ * per-page directories needed to resolve (page, section) back to a
+ * node. The layout is the builder's output; it can be *materialized*
+ * into real page bytes (tests, small graphs) or used directly as a
+ * metadata-only section source (large timing runs) — both paths are
+ * checked for equivalence in the test suite.
+ */
+
+#ifndef BEACONGNN_DIRECTGRAPH_LAYOUT_H
+#define BEACONGNN_DIRECTGRAPH_LAYOUT_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "directgraph/address.h"
+#include "graph/graph.h"
+
+namespace beacongnn::dg {
+
+/** Section type tag (first header byte on flash). */
+enum class SectionType : std::uint8_t
+{
+    Invalid = 0,   ///< Erased / end-of-page marker.
+    Primary = 1,
+    Secondary = 2,
+};
+
+/** Reference from a primary section to one of its secondaries. */
+struct SecondaryRef
+{
+    DgAddress addr;      ///< Where the secondary section lives.
+    std::uint32_t count; ///< Neighbours stored in that section.
+};
+
+/** Layout of one node's data across sections. */
+struct NodeLayout
+{
+    DgAddress primary;      ///< Address of the primary section.
+    std::uint32_t degree = 0;
+    std::uint32_t inPage = 0; ///< Neighbours stored inside the primary.
+    std::vector<SecondaryRef> secondaries;
+};
+
+/** One section's placement inside a page. */
+struct SectionPlacement
+{
+    graph::NodeId node = 0;
+    SectionType type = SectionType::Invalid;
+    std::uint32_t byteOffset = 0;
+    std::uint32_t byteSize = 0;   ///< Unpadded size.
+    /** For secondaries: index of this secondary in the node's list. */
+    std::uint32_t secondaryIdx = 0;
+};
+
+/** Directory of the sections stored in one flash page. */
+struct PageDirectory
+{
+    std::vector<SectionPlacement> sections;
+};
+
+/** Aggregate construction statistics (Table IV). */
+struct BuildStats
+{
+    std::uint64_t rawBytes = 0;       ///< CSR + feature-table volume.
+    std::uint64_t primaryPages = 0;
+    std::uint64_t secondaryPages = 0;
+    std::uint64_t usedBytes = 0;      ///< Sum of unpadded section bytes.
+    std::uint64_t flashBytes = 0;     ///< Pages * pageSize actually used.
+    std::uint64_t blockBytes = 0;     ///< Whole allocated blocks.
+    std::uint64_t nodesWithSecondaries = 0;
+    std::uint64_t secondarySections = 0;
+
+    /** Table IV inflation: extra flash over raw data, page-granular. */
+    double
+    inflatePct() const
+    {
+        return rawBytes == 0
+                   ? 0.0
+                   : 100.0 * (static_cast<double>(flashBytes) - rawBytes) /
+                         static_cast<double>(rawBytes);
+    }
+};
+
+/** The complete DirectGraph layout of a dataset. */
+struct DirectGraphLayout
+{
+    std::vector<NodeLayout> nodes;  ///< Indexed by NodeId.
+    std::unordered_map<flash::Ppa, PageDirectory> pages;
+    std::vector<flash::BlockId> blocks; ///< Reserved blocks consumed.
+    std::uint16_t featureDim = 0;
+    std::uint32_t pageSize = 0;
+    BuildStats stats;
+
+    /** Primary-section address of @p v (host-provided for targets). */
+    DgAddress primaryOf(graph::NodeId v) const { return nodes[v].primary; }
+
+    /** Resolve (page, section) to its placement; nullptr if absent. */
+    const SectionPlacement *
+    find(DgAddress a) const
+    {
+        auto it = pages.find(a.page());
+        if (it == pages.end())
+            return nullptr;
+        const auto &secs = it->second.sections;
+        if (a.section() >= secs.size())
+            return nullptr;
+        return &secs[a.section()];
+    }
+};
+
+} // namespace beacongnn::dg
+
+#endif // BEACONGNN_DIRECTGRAPH_LAYOUT_H

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Section sources: how a sampler obtains the decoded content of a
+ * (page, section) address.
+ *
+ * Two interchangeable implementations back the same sampler logic:
+ *  - PageByteSource parses real flash page bytes (what the die-level
+ *    sampler hardware does); used by functional tests and examples.
+ *  - LayoutSource answers from builder metadata without materializing
+ *    page bytes; used for large timing runs.
+ * The test suite checks that both return identical SectionData for
+ * every address of a materialized graph.
+ */
+
+#ifndef BEACONGNN_DIRECTGRAPH_SOURCE_H
+#define BEACONGNN_DIRECTGRAPH_SOURCE_H
+
+#include <optional>
+
+#include "directgraph/builder.h"
+#include "directgraph/codec.h"
+#include "flash/page_store.h"
+
+namespace beacongnn::dg {
+
+/** Abstract resolver from DgAddress to decoded section content. */
+class SectionSource
+{
+  public:
+    virtual ~SectionSource() = default;
+
+    /**
+     * Decode the section at @p addr.
+     * @return nullopt if the address does not name a valid section —
+     *         the on-die check of §VI-E treats that as an abort.
+     */
+    virtual std::optional<SectionData> fetch(DgAddress addr) const = 0;
+};
+
+/** Section source over real page bytes in the flash page store. */
+class PageByteSource : public SectionSource
+{
+  public:
+    PageByteSource(const flash::PageStore &store, std::uint16_t feature_dim)
+        : store(store), featureDim(feature_dim)
+    {
+    }
+
+    std::optional<SectionData>
+    fetch(DgAddress addr) const override
+    {
+        auto page = store.read(addr.page());
+        if (page.empty())
+            return std::nullopt;
+        return findSection(page, addr.section(), featureDim);
+    }
+
+  private:
+    const flash::PageStore &store;
+    std::uint16_t featureDim;
+};
+
+/** Section source over builder metadata (no page bytes needed). */
+class LayoutSource : public SectionSource
+{
+  public:
+    LayoutSource(const DirectGraphLayout &layout, const graph::Graph &g)
+        : layout(layout), g(g)
+    {
+    }
+
+    std::optional<SectionData>
+    fetch(DgAddress addr) const override
+    {
+        const SectionPlacement *sp = layout.find(addr);
+        if (!sp)
+            return std::nullopt;
+        const NodeLayout &nl = layout.nodes[sp->node];
+        SectionData s;
+        s.type = sp->type;
+        s.node = sp->node;
+        if (sp->type == SectionType::Primary) {
+            s.totalNeighbors = nl.degree;
+            s.hasFeature = layout.featureDim > 0;
+            s.inPage = nl.inPage;
+            s.secondaries = nl.secondaries;
+            s.neighborAddrs.reserve(nl.inPage);
+            for (std::uint32_t i = 0; i < nl.inPage; ++i)
+                s.neighborAddrs.push_back(
+                    layout.nodes[g.neighbor(sp->node, i)].primary);
+        } else {
+            std::uint32_t start = nl.inPage;
+            for (std::uint32_t j = 0; j < sp->secondaryIdx; ++j)
+                start += nl.secondaries[j].count;
+            std::uint32_t count = nl.secondaries[sp->secondaryIdx].count;
+            s.totalNeighbors = count;
+            s.hasFeature = false;
+            s.neighborAddrs.reserve(count);
+            for (std::uint32_t i = 0; i < count; ++i)
+                s.neighborAddrs.push_back(
+                    layout.nodes[g.neighbor(sp->node, start + i)].primary);
+        }
+        return s;
+    }
+
+  private:
+    const DirectGraphLayout &layout;
+    const graph::Graph &g;
+};
+
+} // namespace beacongnn::dg
+
+#endif // BEACONGNN_DIRECTGRAPH_SOURCE_H

@@ -1,0 +1,29 @@
+#include "energy/energy.h"
+
+namespace beacongnn::energy {
+
+EnergyBreakdown
+account(const EnergyConstants &c, const EnergyInputs &in)
+{
+    EnergyBreakdown e;
+    e.flash = static_cast<double>(in.tally.flashReads) *
+              c.flashSenseNJ * 1e-9;
+    e.channel = static_cast<double>(in.tally.channelBytes) *
+                c.channelPJPerByte * 1e-12;
+    e.dram = static_cast<double>(in.tally.dramBytes) * c.dramPJPerByte *
+             1e-12;
+    e.pcie = static_cast<double>(in.tally.pcieBytes) * c.pciePJPerByte *
+             1e-12;
+    e.cores = sim::toSeconds(in.coreBusy) * c.coreActiveW;
+    e.hostCpu = sim::toSeconds(in.tally.hostCpuBusy) * c.hostCpuW;
+    e.accel = static_cast<double>(in.accelMacs) * c.accelPJPerMac *
+                  1e-12 +
+              static_cast<double>(in.accelSramBytes) * c.sramPJPerByte *
+                  1e-12;
+    e.engines = static_cast<double>(in.engineCommands) *
+                (c.samplerNJPerCmd + c.routerNJPerCmd) * 1e-9;
+    e.background = sim::toSeconds(in.duration) * c.ssdStaticW;
+    return e;
+}
+
+} // namespace beacongnn::energy

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Energy model (§VII-A "Area and Power estimation", Fig. 19).
+ *
+ * The paper composes McPAT (controller cores), DRAMPower (SSD DRAM),
+ * CACTI (accelerator SRAM) and synthesis results (sampler/router) into
+ * a per-component energy breakdown. We reproduce that structure with
+ * per-event energy constants representative of the 40 nm / 32 nm
+ * technology points those tools report. Absolute joules differ from
+ * the paper's testbed; the breakdown *shape* (which component
+ * dominates on which platform) is the reproduction target.
+ */
+
+#ifndef BEACONGNN_ENERGY_ENERGY_H
+#define BEACONGNN_ENERGY_ENERGY_H
+
+#include <cstdint>
+
+#include "engines/gnn_engine.h"
+#include "sim/types.h"
+
+namespace beacongnn::energy {
+
+/** Per-event energy constants. */
+struct EnergyConstants
+{
+    double flashSenseNJ = 300.0;    ///< One page array sense (Z-NAND).
+    double channelPJPerByte = 100.0; ///< ONFI high-speed IO.
+    double dramPJPerByte = 175.0;   ///< SSD DRAM access (DRAMPower).
+    double pciePJPerByte = 150.0;   ///< Host link incl. serdes + copies.
+    double coreActiveW = 0.35;      ///< One busy embedded core (McPAT).
+    double hostCpuW = 1.5;          ///< Host CPU I/O + sampling power.
+    double accelPJPerMac = 1.2;     ///< FP16 MAC at 32 nm.
+    double sramPJPerByte = 0.6;     ///< Accelerator SRAM (CACTI-7.0).
+    double samplerNJPerCmd = 0.05;  ///< Die sampler per command (DC).
+    double routerNJPerCmd = 0.08;   ///< Channel router per command.
+    double ssdStaticW = 0.3;        ///< Controller + DRAM background.
+};
+
+/** Per-component energy breakdown in joules (Fig. 19 categories). */
+struct EnergyBreakdown
+{
+    double flash = 0;    ///< Array senses.
+    double channel = 0;  ///< Flash channel transfers.
+    double dram = 0;     ///< SSD DRAM traffic.
+    double pcie = 0;     ///< Off-storage transfer (PCIe).
+    double cores = 0;    ///< Embedded-core activity.
+    double hostCpu = 0;  ///< Host CPU sampling/translation.
+    double accel = 0;    ///< Accelerator MACs + SRAM.
+    double engines = 0;  ///< Die samplers + channel routers.
+    double background = 0; ///< Static SSD power over the run.
+
+    double
+    total() const
+    {
+        return flash + channel + dram + pcie + cores + hostCpu + accel +
+               engines + background;
+    }
+
+    /** Fraction of total spent moving data off-storage. */
+    double
+    offStorageShare() const
+    {
+        double t = total();
+        return t > 0 ? (pcie + hostCpu) / t : 0.0;
+    }
+};
+
+/** Inputs gathered by a platform run. */
+struct EnergyInputs
+{
+    engines::PrepTally tally;      ///< Summed over all batches.
+    sim::Tick coreBusy = 0;        ///< Embedded-core busy time.
+    std::uint64_t accelMacs = 0;
+    std::uint64_t accelSramBytes = 0;
+    std::uint64_t engineCommands = 0; ///< Sampler/router operations.
+    sim::Tick duration = 0;        ///< End-to-end run time.
+};
+
+/** Account the energy of one run. */
+EnergyBreakdown account(const EnergyConstants &c, const EnergyInputs &in);
+
+} // namespace beacongnn::energy
+
+#endif // BEACONGNN_ENERGY_ENERGY_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Die-level sampler (§V-A, Fig. 10/11).
+ *
+ * The functional model of the processing logic placed in the flash
+ * die's control circuitry: a section iterator (performed by the
+ * SectionSource lookup), a vector retriever, a node sampler and a
+ * command generator, fed by a TRNG (modelled as keyed deterministic
+ * randomness so out-of-order execution is reproducible and testable).
+ *
+ * Behaviour per command:
+ *  - primary section, hop < K: retrieve the feature vector, draw
+ *    `fanout` samples over the full neighbour range; in-page hits
+ *    become next-hop sampling commands at the neighbour's primary
+ *    address; hits in the same secondary section coalesce into one
+ *    continuation command carrying the hit count.
+ *  - secondary section: re-draw `sampleCount` indices within the
+ *    section (modulo a TRNG value, per the paper) and emit next-hop
+ *    commands.
+ *  - primary section, hop == K (final): retrieve the feature only.
+ *  - section missing or of the wrong type: abort with ok = false and
+ *    return control to the firmware (§VI-E).
+ */
+
+#ifndef BEACONGNN_ENGINES_DIE_SAMPLER_H
+#define BEACONGNN_ENGINES_DIE_SAMPLER_H
+
+#include "directgraph/source.h"
+#include "flash/onfi.h"
+#include "ssd/config.h"
+
+namespace beacongnn::engines {
+
+/** Behavioural options (ablations). */
+struct DieSamplerOptions
+{
+    /** Coalesce same-secondary-section hits into one command (§V-A);
+     *  disabling this issues one command per hit (ablation). */
+    bool coalesceSecondary = true;
+};
+
+/** Functional + latency model of the on-die sampler. */
+class DieSampler
+{
+  public:
+    DieSampler(const ssd::EngineConfig &engine_cfg,
+               const flash::GnnGlobalConfig &gnn_cfg,
+               const DieSamplerOptions &options = {})
+        : ecfg(engine_cfg), gcfg(gnn_cfg), opts(options)
+    {
+    }
+
+    const flash::GnnGlobalConfig &gnnConfig() const { return gcfg; }
+
+    /**
+     * Execute one sampling command against a decoded section.
+     *
+     * @param section Decoded content (nullopt = missing -> abort).
+     * @param params  Command parameters.
+     * @return Result frame including follow-up commands. Follow-up
+     *         parentSlot fields are left 0 for the engine to assign.
+     */
+    flash::GnnSampleResult
+    execute(const std::optional<dg::SectionData> &section,
+            const flash::GnnSampleParams &params) const;
+
+    /** On-die execution latency of a completed command. */
+    sim::Tick
+    latency(const flash::GnnSampleResult &result) const
+    {
+        return ecfg.samplerSetup +
+               ecfg.samplerPerDraw *
+                   static_cast<sim::Tick>(result.follow.size());
+    }
+
+  private:
+    ssd::EngineConfig ecfg;
+    flash::GnnGlobalConfig gcfg;
+    DieSamplerOptions opts;
+};
+
+} // namespace beacongnn::engines
+
+#endif // BEACONGNN_ENGINES_DIE_SAMPLER_H

@@ -1,0 +1,642 @@
+#include "engines/gnn_engine.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/log.h"
+#include "sim/rng.h"
+
+namespace beacongnn::engines {
+
+namespace {
+
+/** Slot value used in command metadata for "no parent" (targets). */
+constexpr std::uint32_t kRootSlot = gnn::kNoParent;
+
+} // namespace
+
+/** Per-mini-batch in-flight state. */
+struct GnnEngine::Batch
+{
+    std::uint64_t id = 0;
+    PrepResult res;
+    std::function<void(PrepResult &&)> done;
+    bool finished = false;
+
+    // Streaming mode: commands in flight.
+    std::uint64_t outstanding = 0;
+    sim::Tick finishMax = 0;
+
+    // Streaming dedup: nodes whose primary section this batch
+    // already fetched (maps to the time its data became available).
+    std::unordered_map<std::uint64_t, sim::Tick> fetched;
+
+    // Barrier mode: visits of the next hop, accumulated this hop.
+    struct Visit
+    {
+        graph::NodeId node;
+        gnn::Slot parent;
+    };
+    std::vector<Visit> nextVisits;
+    std::uint64_t hopOutstanding = 0;
+    sim::Tick hopLast = 0;
+};
+
+GnnEngine::GnnEngine(sim::EventQueue &queue, flash::FlashBackend &backend,
+                     ssd::Firmware &firmware,
+                     const dg::DirectGraphLayout &layout,
+                     const graph::Graph &g, const gnn::ModelConfig &model,
+                     const PrepFlags &flags,
+                     const dg::SectionSource &source)
+    : queue(queue), backend(backend), fw(firmware), layout(layout), g(g),
+      model(model), _flags(flags), source(source),
+      sampler(firmware.config().engine,
+              flash::GnnGlobalConfig{model.hops, model.fanout,
+                                     model.featureDim, 2, model.seed},
+              DieSamplerOptions{flags.coalesceSecondary})
+{
+    if (_flags.hwRouter) {
+        router = std::make_unique<CommandRouter>(
+            firmware.config().engine, backend.config());
+    }
+}
+
+void
+GnnEngine::prepare(sim::Tick start, std::uint64_t batch_id,
+                   std::span<const graph::NodeId> targets,
+                   std::function<void(PrepResult &&)> done)
+{
+    auto b = std::make_shared<Batch>();
+    b->id = batch_id;
+    b->done = std::move(done);
+    b->res.start = start;
+    b->res.hops.resize(model.hops + 1u);
+
+    const auto &host = fw.config().host;
+    // Before the first batch, the firmware broadcasts the global GNN
+    // configuration command (hops, fanout, feature length; §VI-C) to
+    // every die over the channels.
+    start = std::max(start, broadcastConfig(start));
+    // The host assembles the mini-batch and submits target addresses
+    // (DirectGraph: primary-section addresses; conventional: LPAs)
+    // through one customized NVMe command.
+    sim::Tick ready = start + host.batchOverhead + host.nvmeRoundTrip +
+                      host.translatePerNode * targets.size();
+    b->res.tally.hostCpuBusy += host.translatePerNode * targets.size();
+
+    for (graph::NodeId t : targets)
+        b->nextVisits.push_back({t, kRootSlot});
+
+    if (_flags.directGraph) {
+        queue.scheduleAt(ready, [this, b] { startStreaming(b); });
+    } else {
+        queue.scheduleAt(ready, [this, b] { startBarrier(b); });
+    }
+}
+
+void
+GnnEngine::finishBatch(const std::shared_ptr<Batch> &b, sim::Tick when)
+{
+    if (b->finished)
+        return;
+    b->finished = true;
+    b->res.finish = when;
+    queue.scheduleAt(when, [b] {
+        if (b->done)
+            b->done(std::move(b->res));
+    });
+}
+
+sim::Tick
+GnnEngine::broadcastConfig(sim::Tick start)
+{
+    if (configDone != 0 || _flags.sampling != SamplingLoc::Die)
+        return configDone;
+    // One GNN-configuration command per die: command cycles plus the
+    // parameter frame (Fig. 13) over the channel; dies on different
+    // channels configure in parallel, dies on one channel serialize.
+    const auto &cfg = backend.config();
+    const std::uint32_t frame = 16; // hops/fanout/dim/seed parameters.
+    sim::Tick done = start;
+    for (unsigned ch = 0; ch < cfg.channels; ++ch) {
+        sim::Tick t = start;
+        for (unsigned d = 0; d < cfg.diesPerChannel; ++d) {
+            t += cfg.commandOverhead + cfg.channelTime(frame);
+        }
+        done = std::max(done, t);
+    }
+    configDone = done;
+    return configDone;
+}
+
+// ====================================================================
+// Streaming (DirectGraph) pipeline: BG-DG, BG-DGSP, BG-2.
+// ====================================================================
+
+void
+GnnEngine::startStreaming(std::shared_ptr<Batch> b)
+{
+    sim::Tick now = queue.now();
+    auto visits = std::move(b->nextVisits);
+    b->nextVisits.clear();
+    b->outstanding += visits.size();
+    for (const auto &v : visits) {
+        flash::GnnSampleParams p;
+        dg::DgAddress a = layout.primaryOf(v.node);
+        p.ppa = a.page();
+        p.sectionIndex = static_cast<std::uint8_t>(a.section());
+        p.hop = 0;
+        p.batchId = static_cast<std::uint32_t>(b->id);
+        p.parentSlot = v.parent;
+        p.retrieveFeature = true;
+        if (model.hops == 0) {
+            p.finalHop = true;
+            p.sampleCount = 0;
+        } else {
+            p.sampleCount = model.fanout;
+        }
+        p.nodeHint = v.node;
+        // Targets are injected by the host interface at the frontend
+        // controller; their first hop is always a crossbar traversal.
+        streamCommand(b, p, now,
+                      backend.codec().channelOf(p.ppa));
+    }
+    if (visits.empty())
+        finishBatch(b, now);
+}
+
+void
+GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
+                         flash::GnnSampleParams params, sim::Tick ready,
+                         unsigned from_channel)
+{
+    const auto &flash_cfg = backend.config();
+    sim::Tick created = ready;
+
+    // ---- Batch-level node deduplication (extension) -----------------
+    // A primary section already fetched this batch is re-served from
+    // SSD DRAM: the sampler logic still runs (different draws per
+    // instance), but no flash read is issued.
+    dg::DgAddress self_addr(params.ppa, params.sectionIndex);
+    if (_flags.dedupeNodes && !params.isSecondary) {
+        auto it = b->fetched.find(self_addr.raw);
+        if (it != b->fetched.end()) {
+            auto section = source.fetch(self_addr);
+            flash::GnnSampleResult result =
+                sampler.execute(section, params);
+            sim::Tick avail = std::max(ready, it->second);
+            sim::Grant mem = fw.dram().acquire(
+                avail, result.frameBytes());
+            sim::Tick parsed = mem.end;
+            ++b->res.dedupedReads;
+            if (result.featureIncluded)
+                b->res.tally.featureBytes += result.featureBytes;
+            gnn::Slot parent = params.parentSlot;
+            if (result.ok) {
+                parent = b->res.subgraph.add(
+                    static_cast<graph::NodeId>(result.nodeId),
+                    params.hop, params.parentSlot);
+            }
+            b->outstanding += result.follow.size();
+            unsigned ch = backend.codec().channelOf(params.ppa);
+            for (auto &f : result.follow) {
+                f.params.parentSlot = parent;
+                flash::GnnSampleParams child = f.params;
+                queue.scheduleAt(parsed, [this, b, child, ch] {
+                    streamCommand(b, child, queue.now(), ch);
+                });
+            }
+            unsigned span = std::min<unsigned>(params.hop, model.hops);
+            if (params.finalHop)
+                span = model.hops;
+            b->res.hops[span].cover(created, parsed);
+            b->finishMax = std::max(b->finishMax, parsed);
+            if (--b->outstanding == 0) {
+                if (router)
+                    b->res.routerStats = router->stats();
+                finishBatch(b, b->finishMax);
+            }
+            return;
+        }
+    }
+
+    // ---- Dispatch: hardware router vs firmware core ----------------
+    sim::Tick dispatched;
+    if (_flags.hwRouter) {
+        // Crossbar forward into the destination channel's per-die
+        // dispatch queue; the round-robin issuer signals the channel
+        // control logic when the die idles (die/channel occupancy is
+        // modelled by the backend).
+        dispatched = router->route(ready, from_channel, params.ppa);
+    } else {
+        dispatched = fw.coreIssue(ready).end;
+    }
+
+    // ---- Functional sampling ---------------------------------------
+    dg::DgAddress addr(params.ppa, params.sectionIndex);
+    auto section = source.fetch(addr);
+    flash::GnnSampleResult result = sampler.execute(section, params);
+
+    bool die_sampling = _flags.sampling == SamplingLoc::Die;
+    std::uint32_t transfer_bytes =
+        die_sampling ? result.frameBytes() : flash_cfg.pageSize;
+    sim::Tick on_die = die_sampling ? sampler.latency(result) : 0;
+
+    // ---- Flash operation --------------------------------------------
+    flash::FlashOpTiming t =
+        backend.read(dispatched, params.ppa, transfer_bytes, on_die);
+    ++b->res.tally.flashReads;
+    b->res.tally.channelBytes += transfer_bytes;
+    if (_flags.hwRouter)
+        router->bindCompletion(params.ppa, t.xferEnd);
+
+    // ---- Result consumption ------------------------------------------
+    sim::Tick parsed;
+    if (_flags.hwRouter) {
+        // The stream parser classifies the frame; feature payload DMAs
+        // into DRAM without per-transfer firmware configuration.
+        parsed = router->parse(t.xferEnd);
+        if (result.featureIncluded && !_flags.bypassDram) {
+            // The mini-batch is only complete once its feature
+            // payloads land in SSD DRAM — this is the DRAM-bandwidth
+            // wall of Fig. 18d.
+            sim::Grant mem =
+                fw.dram().acquire(parsed, result.featureBytes);
+            b->res.tally.dramBytes += result.featureBytes;
+            b->finishMax = std::max(b->finishMax, mem.end);
+        }
+    } else if (die_sampling) {
+        // BG-DGSP: frames land in DRAM, a core parses each.
+        sim::Grant mem = fw.dram().acquire(t.xferEnd, transfer_bytes);
+        b->res.tally.dramBytes += transfer_bytes;
+        parsed = fw.coreComplete(mem.end).end;
+    } else {
+        // BG-DG: full page to DRAM, core parses and samples in
+        // firmware (same two-level DirectGraph discipline).
+        sim::Grant mem = fw.dram().acquire(t.xferEnd, transfer_bytes);
+        b->res.tally.dramBytes += transfer_bytes;
+        parsed = fw.coreComplete(mem.end,
+                                 fw.config().controller.coreSampleTime)
+                     .end;
+    }
+    if (result.featureIncluded)
+        b->res.tally.featureBytes += result.featureBytes;
+    if (_flags.dedupeNodes && !params.isSecondary)
+        b->fetched.emplace(self_addr.raw, parsed);
+
+    // ---- Bookkeeping ---------------------------------------------------
+    ++b->res.commands;
+    sim::Tick wait_before = t.senseStart - created;
+    sim::Tick flash_time =
+        (t.senseEnd - t.senseStart) + (t.xferEnd - t.xferStart);
+    b->res.cmdStats.waitBefore.add(sim::toMicros(wait_before));
+    b->res.cmdStats.flashTime.add(sim::toMicros(flash_time));
+    b->res.cmdStats.waitAfter.add(
+        sim::toMicros(parsed - created - wait_before - flash_time));
+    b->res.cmdStats.lifetime.add(sim::toMicros(parsed - created));
+    b->res.cmdStats.lifetimeHist.add(sim::toMicros(parsed - created));
+    unsigned span = std::min<unsigned>(params.hop, model.hops);
+    if (params.finalHop)
+        span = model.hops;
+    b->res.hops[span].cover(created, parsed);
+
+    if (!result.ok) {
+        ++b->res.tally.abortedCommands;
+        b->res.ok = false;
+    }
+
+    // ---- Subgraph + children ------------------------------------------
+    gnn::Slot parent_for_children;
+    if (!params.isSecondary && result.ok) {
+        parent_for_children = b->res.subgraph.add(
+            static_cast<graph::NodeId>(result.nodeId), params.hop,
+            params.parentSlot);
+    } else {
+        parent_for_children = params.parentSlot;
+    }
+
+    b->outstanding += result.follow.size();
+    unsigned this_channel = backend.codec().channelOf(params.ppa);
+    for (auto &f : result.follow) {
+        f.params.parentSlot = parent_for_children;
+        flash::GnnSampleParams child = f.params;
+        queue.scheduleAt(parsed, [this, b, child, this_channel] {
+            streamCommand(b, child, queue.now(), this_channel);
+        });
+    }
+
+    b->finishMax = std::max(b->finishMax, parsed);
+    if (--b->outstanding == 0) {
+        if (router)
+            b->res.routerStats = router->stats();
+        finishBatch(b, b->finishMax);
+    }
+}
+// ====================================================================
+// Hop-by-hop (barrier) pipeline: CC, GLIST, SmartSage, BG-1, BG-SP.
+//
+// Conventional (non-DirectGraph) data layout: the graph structure and
+// the feature table are separate in-storage objects (Table I), so a
+// visit costs neighbour-list page reads for sampling plus a separate
+// feature-table page read. Hops are separated by host-SSD round trips.
+// ====================================================================
+
+void
+GnnEngine::startBarrier(std::shared_ptr<Batch> b)
+{
+    runHop(b, 0, queue.now());
+}
+
+namespace {
+
+/**
+ * Synthetic feature-table region: vector of node v lives in a page of
+ * a block region at the top of the device, striped across channels
+ * and dies like any large file.
+ */
+flash::Ppa
+featureTablePpa(const flash::FlashConfig &cfg, graph::NodeId node,
+                std::uint32_t feat_bytes)
+{
+    std::uint32_t per_page = std::max<std::uint32_t>(
+        1, cfg.pageSize / std::max<std::uint32_t>(1, feat_bytes));
+    std::uint64_t page_idx = node / per_page;
+    std::uint64_t total_blocks = cfg.totalBlocks();
+    // Stripe the region across one block per die so feature lookups
+    // spread over the whole backend (a multi-GB table does naturally).
+    std::uint64_t stripe = std::max(1u, cfg.totalDies());
+    std::uint64_t block =
+        total_blocks - 1 - (page_idx % stripe) % total_blocks;
+    std::uint64_t page_in_block =
+        (page_idx / stripe) % cfg.pagesPerBlock;
+    return static_cast<flash::Ppa>(block * cfg.pagesPerBlock +
+                                   page_in_block);
+}
+
+} // namespace
+
+void
+GnnEngine::runHop(const std::shared_ptr<Batch> &b, unsigned hop,
+                  sim::Tick hop_start)
+{
+    const auto &ctl = fw.config().controller;
+    const auto &host = fw.config().host;
+    const auto &flash_cfg = backend.config();
+    const std::uint32_t feat_bytes = std::uint32_t{model.featureDim} * 2;
+    const bool die_sampling = _flags.sampling == SamplingLoc::Die;
+    const bool host_sampling = _flags.sampling == SamplingLoc::Host;
+    const bool final_hop = hop >= model.hops;
+
+    auto visits = std::move(b->nextVisits);
+    b->nextVisits.clear();
+    if (visits.empty()) {
+        finishBatch(b, hop_start);
+        return;
+    }
+
+    // Every read of the hop is computed analytically; the hop barrier
+    // is the maximum parse-complete time across them.
+    sim::Tick last = hop_start;
+
+    /**
+     * One backend read through the firmware: issue core (+ FTL lookup
+     * for the conventional LPA path), flash, DMA to DRAM, completion
+     * core, then optionally the host path (software-stack service and
+     * PCIe transfer). Records Fig. 16/17 statistics.
+     */
+    auto do_read = [this, &ctl, &host, b, hop](
+                       sim::Tick ready, flash::Ppa ppa,
+                       std::uint32_t bytes, sim::Tick on_die,
+                       sim::Tick core_extra, bool to_host,
+                       std::uint32_t pcie_bytes) -> sim::Tick {
+        sim::Tick created = ready;
+        if (to_host) {
+            // Host software stack issues the block I/O.
+            sim::Grant io = fw.hostIoService(ready);
+            b->res.tally.hostCpuBusy += host.ioOverhead;
+            ready = io.end;
+        }
+        sim::Tick dispatched =
+            fw.coreIssue(ready, ctl.ftlLookupTime).end;
+        flash::FlashOpTiming t =
+            backend.read(dispatched, ppa, bytes, on_die);
+        ++b->res.tally.flashReads;
+        b->res.tally.channelBytes += bytes;
+        sim::Grant mem = fw.dram().acquire(t.xferEnd, bytes);
+        b->res.tally.dramBytes += bytes;
+        sim::Tick parsed = fw.coreComplete(mem.end, core_extra).end;
+        if (to_host && pcie_bytes > 0) {
+            sim::Grant link = fw.pcie().acquire(parsed, pcie_bytes);
+            b->res.tally.pcieBytes += pcie_bytes;
+            parsed = link.end;
+        }
+        ++b->res.commands;
+        sim::Tick wait_before = t.senseStart - created;
+        sim::Tick flash_time =
+            (t.senseEnd - t.senseStart) + (t.xferEnd - t.xferStart);
+        b->res.cmdStats.waitBefore.add(sim::toMicros(wait_before));
+        b->res.cmdStats.flashTime.add(sim::toMicros(flash_time));
+        b->res.cmdStats.waitAfter.add(
+            sim::toMicros(parsed - created - wait_before - flash_time));
+        b->res.cmdStats.lifetime.add(sim::toMicros(parsed - created));
+        b->res.cmdStats.lifetimeHist.add(sim::toMicros(parsed - created));
+        b->res.hops[std::min<unsigned>(hop, model.hops)].cover(created,
+                                                               parsed);
+        return parsed;
+    };
+
+    // Secondary continuations discovered during the visit loop; they
+    // become ready when their primary result parses, so they are
+    // issued afterwards in ready-time order (exact FIFO pools).
+    struct PendingContinuation
+    {
+        sim::Tick ready;
+        flash::GnnSampleParams params;
+        gnn::Slot slot;
+    };
+    std::vector<PendingContinuation> pending_continuations;
+
+    for (const auto &v : visits) {
+        const dg::NodeLayout &nl = layout.nodes[v.node];
+        dg::DgAddress primary = nl.primary;
+        gnn::Slot slot = b->res.subgraph.add(
+            v.node, static_cast<std::uint8_t>(hop), v.parent);
+
+        // ---- Feature retrieval ---------------------------------------
+        // BG-SP converts the dataset into its co-located in-SSD
+        // format (feature vectors beside neighbour lists — the data
+        // the die-level vector retriever needs), so features arrive
+        // inside the sampling frames; only final-hop nodes need a
+        // dedicated feature command. The conventional platforms keep
+        // the feature table as a separate object (Table I) and read
+        // one of its pages per visit.
+        b->res.tally.featureBytes += feat_bytes;
+        flash::Ppa fppa =
+            featureTablePpa(flash_cfg, v.node, feat_bytes);
+        if (die_sampling) {
+            if (final_hop) {
+                // Feature frame from the node's primary page.
+                sim::Tick fparsed = do_read(
+                    hop_start, primary.page(), 16 + feat_bytes,
+                    fw.config().engine.samplerSetup, 0, false, 0);
+                last = std::max(last, fparsed);
+            }
+        } else if (_flags.featuresViaHost) {
+            // CC / SmartSage: host block read of the feature page,
+            // page over PCIe to the host, vector onward to the
+            // discrete accelerator.
+            sim::Tick fparsed =
+                do_read(hop_start, fppa, flash_cfg.pageSize, 0, 0, true,
+                        flash_cfg.pageSize + feat_bytes);
+            last = std::max(last, fparsed);
+        } else {
+            // GLIST / BG-1: offloaded table lookup, page to SSD DRAM.
+            sim::Tick fparsed = do_read(hop_start, fppa,
+                                        flash_cfg.pageSize, 0, 0, false,
+                                        0);
+            last = std::max(last, fparsed);
+        }
+
+        if (final_hop)
+            continue;
+
+        // ---- Neighbour-list fetch + sampling ------------------------
+        if (die_sampling) {
+            // BG-SP: die-level sampler on the graph-structure pages;
+            // next-hop node ids still return to the host for
+            // translation each hop.
+            flash::GnnSampleParams p;
+            p.ppa = primary.page();
+            p.sectionIndex = static_cast<std::uint8_t>(primary.section());
+            p.hop = static_cast<std::uint8_t>(std::min<unsigned>(hop, 255));
+            p.batchId = static_cast<std::uint32_t>(b->id);
+            p.retrieveFeature = true; // Co-located format (see above).
+            p.sampleCount = model.fanout;
+
+            auto section = source.fetch(primary);
+            flash::GnnSampleResult r = sampler.execute(section, p);
+            if (!r.ok) {
+                ++b->res.tally.abortedCommands;
+                b->res.ok = false;
+            }
+            for (auto &f : r.follow) {
+                if (f.params.isSecondary) {
+                    // Coalesced secondary continuations chase the
+                    // primary result within the same hop; they are
+                    // deferred and issued in ready-time order below
+                    // so the firmware pools stay exact FIFO.
+                    pending_continuations.push_back({0, f.params, slot});
+                } else if (auto sp = layout.find(dg::DgAddress(
+                               f.params.ppa, f.params.sectionIndex))) {
+                    b->nextVisits.push_back({sp->node, slot});
+                }
+            }
+            std::size_t first_new =
+                pending_continuations.size() - std::count_if(
+                    r.follow.begin(), r.follow.end(),
+                    [](const flash::EmittedCommand &f) {
+                        return f.params.isSecondary;
+                    });
+            sim::Tick parsed =
+                do_read(hop_start, primary.page(), r.frameBytes(),
+                        sampler.latency(r), 0, false, 0);
+            last = std::max(last, parsed);
+            for (std::size_t i = first_new;
+                 i < pending_continuations.size(); ++i) {
+                pending_continuations[i].ready = parsed;
+            }
+        } else {
+            // Host (CC, GLIST) or firmware (SmartSage, BG-1) sampling:
+            // the full neighbour list is fetched — the primary page
+            // plus every secondary page (read amplification,
+            // Challenge 2).
+            std::vector<flash::Ppa> pages;
+            pages.push_back(primary.page());
+            std::unordered_set<flash::Ppa> seen;
+            for (const auto &r : nl.secondaries) {
+                if (seen.insert(r.addr.page()).second)
+                    pages.push_back(r.addr.page());
+            }
+
+            // Functional sampling: plain uniform draws over the full
+            // neighbour list (csrSample semantics).
+            if (nl.degree > 0) {
+                for (std::uint8_t i = 0; i < model.fanout; ++i) {
+                    auto r = static_cast<std::uint32_t>(sim::keyedBelow(
+                        model.seed, b->id,
+                        static_cast<std::uint8_t>(hop), v.node, i,
+                        nl.degree));
+                    b->nextVisits.push_back({g.neighbor(v.node, r), slot});
+                }
+            }
+
+            for (std::size_t i = 0; i < pages.size(); ++i) {
+                // Firmware sampling pays the software sampler cost on
+                // the visit's last page.
+                sim::Tick extra =
+                    (!host_sampling && i + 1 == pages.size())
+                        ? ctl.coreSampleTime
+                        : 0;
+                sim::Tick parsed = do_read(
+                    hop_start, pages[i], flash_cfg.pageSize, 0, extra,
+                    host_sampling,
+                    host_sampling ? flash_cfg.pageSize *
+                                        _flags.pciePageLegs
+                                  : 0);
+                last = std::max(last, parsed);
+            }
+        }
+    }
+
+    // Issue the deferred secondary continuations in ready order.
+    std::stable_sort(pending_continuations.begin(),
+                     pending_continuations.end(),
+                     [](const PendingContinuation &a,
+                        const PendingContinuation &x) {
+                         return a.ready < x.ready;
+                     });
+    for (const auto &pc : pending_continuations) {
+        auto csec = source.fetch(
+            dg::DgAddress(pc.params.ppa, pc.params.sectionIndex));
+        flash::GnnSampleResult cr = sampler.execute(csec, pc.params);
+        if (!cr.ok) {
+            ++b->res.tally.abortedCommands;
+            b->res.ok = false;
+        }
+        for (auto &f : cr.follow) {
+            if (auto sp = layout.find(dg::DgAddress(
+                    f.params.ppa, f.params.sectionIndex))) {
+                b->nextVisits.push_back({sp->node, pc.slot});
+            }
+        }
+        sim::Tick cparsed = do_read(pc.ready, pc.params.ppa,
+                                    cr.frameBytes(),
+                                    sampler.latency(cr), 0, false, 0);
+        last = std::max(last, cparsed);
+    }
+
+    if (final_hop || b->nextVisits.empty()) {
+        finishBatch(b, last);
+        return;
+    }
+
+    // Inter-hop host-SSD communication barrier (§III Challenge 1).
+    std::size_t n_children = b->nextVisits.size();
+    sim::Tick host_time = host.translatePerNode * n_children;
+    if (host_sampling)
+        host_time += host.samplePerNode * visits.size();
+    b->res.tally.hostCpuBusy += host_time;
+    if (_flags.idsToHost) {
+        sim::Grant link = fw.pcie().acquire(last, 4ull * n_children);
+        b->res.tally.pcieBytes += 4ull * n_children;
+        last = link.end;
+    }
+    sim::Tick next_start = last + host_time + host.nvmeRoundTrip;
+    unsigned next_hop = hop + 1;
+    queue.scheduleAt(next_start, [this, b, next_hop] {
+        runHop(b, next_hop, queue.now());
+    });
+}
+
+} // namespace beacongnn::engines

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The GNN data-preparation engine: an event-driven model of one
+ * mini-batch's neighbour sampling + feature retrieval, parameterized
+ * by where sampling runs (host CPU / firmware cores / flash dies),
+ * whether DirectGraph removes the inter-hop host barrier, and whether
+ * the channel-level hardware router replaces firmware command
+ * processing. All eight evaluation platforms are points in this flag
+ * space (see platforms/platform.h).
+ *
+ * The engine is functional *and* timed: commands carry real
+ * DirectGraph addresses, samplers execute on real section content
+ * (or layout metadata — equivalently, see directgraph/source.h), and
+ * the resulting subgraph is returned for validation and for the
+ * compute-stage workload measurement.
+ */
+
+#ifndef BEACONGNN_ENGINES_GNN_ENGINE_H
+#define BEACONGNN_ENGINES_GNN_ENGINE_H
+
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "directgraph/source.h"
+#include "engines/command_router.h"
+#include "engines/die_sampler.h"
+#include "flash/backend.h"
+#include "gnn/model.h"
+#include "gnn/sampler.h"
+#include "gnn/subgraph.h"
+#include "sim/event_queue.h"
+#include "sim/stats.h"
+#include "ssd/firmware.h"
+
+namespace beacongnn::engines {
+
+/** Where neighbour sampling executes. */
+enum class SamplingLoc : std::uint8_t
+{
+    Host,     ///< Host CPU (CC, GLIST): pages cross PCIe.
+    Firmware, ///< SSD embedded cores (SmartSage, BG-1, BG-DG).
+    Die,      ///< Die-level samplers (BG-SP, BG-DGSP, BG-2).
+};
+
+/** Feature flags selecting the data-preparation pipeline. */
+struct PrepFlags
+{
+    SamplingLoc sampling = SamplingLoc::Firmware;
+    /** DirectGraph: physical chaining, no inter-hop host barrier. */
+    bool directGraph = false;
+    /** Channel-level router: hardware command path (BG-2). */
+    bool hwRouter = false;
+    /** PCIe legs charged per neighbour-list page (host sampling). */
+    unsigned pciePageLegs = 0;
+    /** Feature-table pages are host-initiated block I/O that crosses
+     *  PCIe (CC, SmartSage); otherwise the lookup is offloaded
+     *  in-SSD (GLIST, BG-*). */
+    bool featuresViaHost = false;
+    /** Sampled node ids returned to the host each hop (SmartSage). */
+    bool idsToHost = false;
+    /** Coalesce secondary-section hits (§V-A); off = ablation. */
+    bool coalesceSecondary = true;
+    /** Deduplicate repeated nodes within a mini-batch: a node whose
+     *  primary section was already fetched this batch is served from
+     *  SSD DRAM instead of flash (extension beyond the paper; only
+     *  meaningful on the streaming platforms). */
+    bool dedupeNodes = false;
+    /** §VIII future-work option: direct I/O between flash and the
+     *  accelerator SRAM, bypassing SSD DRAM for feature payloads
+     *  (lifts the DRAM wall of Fig. 18d). */
+    bool bypassDram = false;
+};
+
+/** Aggregated flash-command lifetime statistics (Fig. 17). */
+struct CmdStats
+{
+    sim::Accumulator waitBefore; ///< created -> sense start.
+    sim::Accumulator flashTime;  ///< sense + transfer durations.
+    sim::Accumulator waitAfter;  ///< queueing after flash until parsed.
+    sim::Accumulator lifetime;   ///< created -> parsed.
+    /** Lifetime distribution for tail percentiles (10 us buckets). */
+    sim::Histogram lifetimeHist{10.0, 1024};
+};
+
+/** First/last activity of one hop (Fig. 16). */
+struct HopSpan
+{
+    sim::Tick first = sim::kTickMax;
+    sim::Tick last = 0;
+
+    void
+    cover(sim::Tick a, sim::Tick b)
+    {
+        first = std::min(first, a);
+        last = std::max(last, b);
+    }
+};
+
+/** Byte/operation tallies feeding the energy model. */
+struct PrepTally
+{
+    std::uint64_t flashReads = 0;   ///< Pages sensed.
+    std::uint64_t channelBytes = 0; ///< Bytes over flash channels.
+    std::uint64_t dramBytes = 0;    ///< Bytes through SSD DRAM.
+    std::uint64_t pcieBytes = 0;    ///< Bytes over the host link.
+    sim::Tick hostCpuBusy = 0;      ///< Host CPU time consumed.
+    std::uint64_t featureBytes = 0; ///< Feature payload staged.
+    std::uint64_t abortedCommands = 0; ///< §VI-E on-die aborts.
+};
+
+/** Result of one mini-batch data preparation. */
+struct PrepResult
+{
+    bool ok = true;
+    sim::Tick start = 0;
+    sim::Tick finish = 0;
+    std::vector<HopSpan> hops; ///< hops+1 entries (k samplings + feat).
+    CmdStats cmdStats;
+    PrepTally tally;
+    gnn::Subgraph subgraph;
+    std::uint64_t commands = 0;
+    /** Flash reads avoided by batch-level node deduplication. */
+    std::uint64_t dedupedReads = 0;
+    /** Channel-router statistics (BG-2 only; zeros otherwise). */
+    DispatchStats routerStats;
+};
+
+/** The engine. One instance per platform run; batches prepared serially. */
+class GnnEngine
+{
+  public:
+    /**
+     * @param queue    Shared event queue.
+     * @param backend  Flash timing model.
+     * @param firmware SSD frontend resources.
+     * @param layout   DirectGraph layout (physical placement; also
+     *                 used as the page map for conventional-format
+     *                 platforms — see DESIGN.md §3).
+     * @param g        Graph (golden adjacency).
+     * @param model    GNN task config.
+     * @param flags    Pipeline selection.
+     * @param source   Section resolver (layout- or byte-backed).
+     */
+    GnnEngine(sim::EventQueue &queue, flash::FlashBackend &backend,
+              ssd::Firmware &firmware, const dg::DirectGraphLayout &layout,
+              const graph::Graph &g, const gnn::ModelConfig &model,
+              const PrepFlags &flags, const dg::SectionSource &source);
+
+    /**
+     * Prepare one mini-batch. Schedules events on the queue; @p done
+     * fires (at the finish time) with the result. Run the queue to
+     * completion (or to the finish) after calling.
+     */
+    void prepare(sim::Tick start, std::uint64_t batch_id,
+                 std::span<const graph::NodeId> targets,
+                 std::function<void(PrepResult &&)> done);
+
+    const PrepFlags &flags() const { return _flags; }
+
+    /** Time at which the global GNN configuration finished
+     *  broadcasting to every die (0 before the first batch). */
+    sim::Tick configuredAt() const { return configDone; }
+
+  private:
+    struct Batch;
+
+    /**
+     * Broadcast the global GNN configuration command (§VI-C) to every
+     * die once, before the first mini-batch; returns its completion.
+     */
+    sim::Tick broadcastConfig(sim::Tick start);
+
+    /** Out-of-order (DirectGraph) pipeline. */
+    void startStreaming(std::shared_ptr<Batch> b);
+    void streamCommand(const std::shared_ptr<Batch> &b,
+                       flash::GnnSampleParams params, sim::Tick ready,
+                       unsigned from_channel);
+
+    /** Hop-by-hop (barrier) pipeline. */
+    void startBarrier(std::shared_ptr<Batch> b);
+    void runHop(const std::shared_ptr<Batch> &b, unsigned hop,
+                sim::Tick hop_start);
+
+    void finishBatch(const std::shared_ptr<Batch> &b, sim::Tick when);
+
+    sim::EventQueue &queue;
+    flash::FlashBackend &backend;
+    ssd::Firmware &fw;
+    const dg::DirectGraphLayout &layout;
+    const graph::Graph &g;
+    gnn::ModelConfig model;
+    PrepFlags _flags;
+    const dg::SectionSource &source;
+    DieSampler sampler;
+    /** Hardware command path (constructed when flags.hwRouter). */
+    std::unique_ptr<CommandRouter> router;
+    /** Completion time of the one-time GNN config broadcast. */
+    sim::Tick configDone = 0;
+};
+
+} // namespace beacongnn::engines
+
+#endif // BEACONGNN_ENGINES_GNN_ENGINE_H

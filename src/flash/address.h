@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Physical flash addressing.
+ *
+ * A physical page address (PPA) is a dense 28-bit page index over the
+ * whole device (1 TB / 4 KB = 2^28 pages). Blocks are striped
+ * channel-first so that consecutive block allocations land on distinct
+ * channels and dies, spreading DirectGraph uniformly over the backend.
+ */
+
+#ifndef BEACONGNN_FLASH_ADDRESS_H
+#define BEACONGNN_FLASH_ADDRESS_H
+
+#include <cstdint>
+
+#include "flash/config.h"
+
+namespace beacongnn::flash {
+
+/** Dense physical page index (28 significant bits for a 1 TB device). */
+using Ppa = std::uint32_t;
+
+/** Dense physical block index. */
+using BlockId = std::uint32_t;
+
+/** Fully decoded physical location of a page. */
+struct PageLocation
+{
+    unsigned channel;
+    unsigned die;        ///< Die index within the channel.
+    unsigned plane;
+    unsigned block;      ///< Block index within the plane.
+    unsigned page;       ///< Page index within the block.
+
+    bool
+    operator==(const PageLocation &o) const
+    {
+        return channel == o.channel && die == o.die && plane == o.plane &&
+               block == o.block && page == o.page;
+    }
+};
+
+/** Geometry-aware PPA codec. */
+class AddressCodec
+{
+  public:
+    explicit AddressCodec(const FlashConfig &cfg) : geo(cfg) {}
+
+    /** Block containing @p ppa. */
+    BlockId
+    blockOf(Ppa ppa) const
+    {
+        return ppa / geo.pagesPerBlock;
+    }
+
+    /** Page offset of @p ppa inside its block. */
+    unsigned
+    pageInBlock(Ppa ppa) const
+    {
+        return ppa % geo.pagesPerBlock;
+    }
+
+    /** First PPA of @p block. */
+    Ppa
+    firstPage(BlockId block) const
+    {
+        return block * geo.pagesPerBlock;
+    }
+
+    /** Decode a block id into its physical location (page = 0). */
+    PageLocation
+    decodeBlock(BlockId b) const
+    {
+        PageLocation loc{};
+        loc.channel = b % geo.channels;
+        b /= geo.channels;
+        loc.die = b % geo.diesPerChannel;
+        b /= geo.diesPerChannel;
+        loc.plane = b % geo.planesPerDie;
+        b /= geo.planesPerDie;
+        loc.block = b;
+        loc.page = 0;
+        return loc;
+    }
+
+    /** Decode a PPA into channel/die/plane/block/page. */
+    PageLocation
+    decode(Ppa ppa) const
+    {
+        PageLocation loc = decodeBlock(blockOf(ppa));
+        loc.page = pageInBlock(ppa);
+        return loc;
+    }
+
+    /** Channel serving @p ppa. */
+    unsigned channelOf(Ppa ppa) const { return blockOf(ppa) % geo.channels; }
+
+    /** Die (within its channel) serving @p ppa. */
+    unsigned
+    dieOf(Ppa ppa) const
+    {
+        return (blockOf(ppa) / geo.channels) % geo.diesPerChannel;
+    }
+
+    /** Global die index in [0, channels * diesPerChannel). */
+    unsigned
+    globalDieOf(Ppa ppa) const
+    {
+        return channelOf(ppa) * geo.diesPerChannel + dieOf(ppa);
+    }
+
+    /** Re-encode a physical location into a block id. */
+    BlockId
+    encodeBlock(const PageLocation &loc) const
+    {
+        return ((loc.block * geo.planesPerDie + loc.plane) *
+                    geo.diesPerChannel +
+                loc.die) *
+                   geo.channels +
+               loc.channel;
+    }
+
+    const FlashConfig &config() const { return geo; }
+
+  private:
+    FlashConfig geo;
+};
+
+} // namespace beacongnn::flash
+
+#endif // BEACONGNN_FLASH_ADDRESS_H

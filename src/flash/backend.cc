@@ -1,0 +1,119 @@
+#include "flash/backend.h"
+
+namespace beacongnn::flash {
+
+FlashBackend::FlashBackend(const FlashConfig &config, bool trace)
+    : cfg(config), _codec(config)
+{
+    channels.reserve(cfg.channels);
+    for (unsigned c = 0; c < cfg.channels; ++c)
+        channels.emplace_back("ch" + std::to_string(c), trace);
+    dies.reserve(cfg.totalDies());
+    for (unsigned d = 0; d < cfg.totalDies(); ++d)
+        dies.emplace_back("die" + std::to_string(d), trace);
+    prevXfer.assign(cfg.totalDies(), 0);
+}
+
+FlashOpTiming
+FlashBackend::read(sim::Tick ready, Ppa ppa, std::uint32_t transfer_bytes,
+                   sim::Tick on_die_compute)
+{
+    PageLocation loc = _codec.decode(ppa);
+    sim::Bus &ch = channels[loc.channel];
+    sim::Bus &d = dies[loc.channel * cfg.diesPerChannel + loc.die];
+
+    FlashOpTiming t;
+    // Command/address cycles are modelled as fixed latency: they are
+    // two orders of magnitude shorter than a data-out and interleave
+    // freely between transfers on real channels.
+    t.cmdStart = ready;
+    // Array sense plus any on-die sampler time occupies the die.
+    sim::Grant sense = d.acquire(ready + cfg.commandOverhead,
+                                 cfg.readLatency + on_die_compute);
+    t.senseStart = sense.start;
+    t.senseEnd = sense.end;
+    // Data-out serializes on the channel bus.
+    sim::Grant xfer = ch.acquire(sense.end, cfg.channelTime(transfer_bytes));
+    t.xferStart = xfer.start;
+    t.xferEnd = xfer.end;
+    unsigned die_idx = loc.channel * cfg.diesPerChannel + loc.die;
+    if (cfg.dualRegister) {
+        // Dual cache/data registers: the next sense may overlap this
+        // transfer, but the one after must wait for it to drain.
+        d.holdUntil(prevXfer[die_idx]);
+        prevXfer[die_idx] = xfer.end;
+    } else {
+        // Single-buffered: the die cannot sense again until its
+        // result has drained.
+        d.holdUntil(xfer.end);
+    }
+    return t;
+}
+
+FlashOpTiming
+FlashBackend::program(sim::Tick ready, Ppa ppa, std::uint32_t transfer_bytes)
+{
+    PageLocation loc = _codec.decode(ppa);
+    sim::Bus &ch = channels[loc.channel];
+    sim::Bus &d = dies[loc.channel * cfg.diesPerChannel + loc.die];
+
+    FlashOpTiming t;
+    // Data-in (command cycles + payload) over the channel first.
+    sim::Grant in = ch.acquire(
+        ready, cfg.commandOverhead + cfg.channelTime(transfer_bytes));
+    t.cmdStart = in.start;
+    t.xferStart = in.start;
+    t.xferEnd = in.end;
+    // Then the program operation on the die.
+    sim::Grant prog = d.acquire(in.end, cfg.programLatency);
+    t.senseStart = prog.start;
+    t.senseEnd = prog.end;
+    return t;
+}
+
+FlashOpTiming
+FlashBackend::erase(sim::Tick ready, BlockId block)
+{
+    PageLocation loc = _codec.decodeBlock(block);
+    sim::Bus &d = dies[loc.channel * cfg.diesPerChannel + loc.die];
+
+    FlashOpTiming t;
+    t.cmdStart = ready;
+    sim::Grant er =
+        d.acquire(ready + cfg.commandOverhead, cfg.eraseLatency);
+    t.senseStart = er.start;
+    t.senseEnd = er.end;
+    t.xferStart = er.end;
+    t.xferEnd = er.end;
+    return t;
+}
+
+sim::Tick
+FlashBackend::totalDieBusy() const
+{
+    sim::Tick b = 0;
+    for (const auto &d : dies)
+        b += d.busyTime();
+    return b;
+}
+
+sim::Tick
+FlashBackend::totalChannelBusy() const
+{
+    sim::Tick b = 0;
+    for (const auto &c : channels)
+        b += c.busyTime();
+    return b;
+}
+
+void
+FlashBackend::resetStats()
+{
+    for (auto &c : channels)
+        c.resetStats();
+    for (auto &d : dies)
+        d.resetStats();
+    prevXfer.assign(cfg.totalDies(), 0);
+}
+
+} // namespace beacongnn::flash

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Timing model of the flash backend: per-die sense units and per-
+ * channel buses, with MQSim-style analytic FIFO occupancy.
+ *
+ * The model captures the three effects the paper's motivation hinges
+ * on:
+ *  - dies sense in parallel but their results serialize on the shared
+ *    channel bus (Fig. 6);
+ *  - a die with an undrained data register cannot begin a new sense
+ *    (single-buffered cache/data register pair), so channel congestion
+ *    back-pressures the dies;
+ *  - per-transaction command/address cycles consume channel time.
+ */
+
+#ifndef BEACONGNN_FLASH_BACKEND_H
+#define BEACONGNN_FLASH_BACKEND_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flash/address.h"
+#include "flash/config.h"
+#include "sim/resources.h"
+
+namespace beacongnn::flash {
+
+/** Timing decomposition of one backend flash operation. */
+struct FlashOpTiming
+{
+    sim::Tick cmdStart = 0;   ///< Command/address cycles begin (channel).
+    sim::Tick senseStart = 0; ///< Array sense begins (die).
+    sim::Tick senseEnd = 0;   ///< Sense + on-die compute complete.
+    sim::Tick xferStart = 0;  ///< Data-out begins (channel).
+    sim::Tick xferEnd = 0;    ///< Result fully off the die.
+
+    sim::Tick total(sim::Tick ready) const { return xferEnd - ready; }
+};
+
+/**
+ * The flash backend: all channels and dies of the device, exposed as
+ * analytic timing resources plus physical address decoding.
+ */
+class FlashBackend
+{
+  public:
+    /**
+     * @param cfg   Geometry and timing.
+     * @param trace Record per-die / per-channel busy intervals
+     *              (needed for Fig. 15, costs memory).
+     */
+    explicit FlashBackend(const FlashConfig &cfg, bool trace = false);
+
+    const FlashConfig &config() const { return cfg; }
+    const AddressCodec &codec() const { return _codec; }
+
+    /**
+     * Perform a page read.
+     *
+     * @param ready          Earliest start time.
+     * @param ppa            Target page.
+     * @param transfer_bytes Bytes returned over the channel (a full
+     *                       page without a die sampler; a result frame
+     *                       with one).
+     * @param on_die_compute Extra die-side latency after the sense
+     *                       (die-level sampler execution time).
+     */
+    FlashOpTiming read(sim::Tick ready, Ppa ppa,
+                       std::uint32_t transfer_bytes,
+                       sim::Tick on_die_compute = 0);
+
+    /** Program a page: data-in over the channel, then tPROG on the die. */
+    FlashOpTiming program(sim::Tick ready, Ppa ppa,
+                          std::uint32_t transfer_bytes);
+
+    /** Erase a block: tBERS occupancy on the owning die. */
+    FlashOpTiming erase(sim::Tick ready, BlockId block);
+
+    /** Per-channel bus (index < config().channels). */
+    sim::Bus &channel(unsigned idx) { return channels.at(idx); }
+    const sim::Bus &channel(unsigned idx) const { return channels.at(idx); }
+
+    /** Per-die sense unit (global die index). */
+    sim::Bus &die(unsigned global_idx) { return dies.at(global_idx); }
+    const sim::Bus &die(unsigned global_idx) const
+    {
+        return dies.at(global_idx);
+    }
+
+    unsigned channelCount() const
+    {
+        return static_cast<unsigned>(channels.size());
+    }
+    unsigned dieCount() const { return static_cast<unsigned>(dies.size()); }
+
+    /** Aggregate busy time over all dies. */
+    sim::Tick totalDieBusy() const;
+    /** Aggregate busy time over all channels. */
+    sim::Tick totalChannelBusy() const;
+
+    /** Reset all occupancy and statistics (keeps configuration). */
+    void resetStats();
+
+  private:
+    FlashConfig cfg;
+    AddressCodec _codec;
+    std::vector<sim::Bus> channels;
+    std::vector<sim::Bus> dies;
+    /** Per-die completion time of the previous data-out (dual-
+     *  register pipelining constraint). */
+    std::vector<sim::Tick> prevXfer;
+};
+
+} // namespace beacongnn::flash
+
+#endif // BEACONGNN_FLASH_BACKEND_H

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Functional GNN forward pass over a sampled subgraph (Eq. 1):
+ * K iterations of message passing with vector_sum aggregation and a
+ * single perceptron (GEMV per node) update. Weights are deterministic
+ * pseudo-random matrices derived from the model seed, so any two
+ * platforms computing the same subgraph produce bit-identical (FP32)
+ * results — used to validate the end-to-end functional path.
+ */
+
+#ifndef BEACONGNN_GNN_COMPUTE_H
+#define BEACONGNN_GNN_COMPUTE_H
+
+#include <vector>
+
+#include "gnn/model.h"
+#include "gnn/subgraph.h"
+#include "graph/graph.h"
+
+namespace beacongnn::gnn {
+
+/** Deterministic weight matrix (row-major n_out x n_in). */
+std::vector<float> makeWeights(std::uint64_t seed, unsigned layer,
+                               std::uint32_t n_out, std::uint32_t n_in);
+
+/**
+ * Run the K-layer forward pass.
+ *
+ * @param sg       Mini-batch subgraph (forest; hop-0 entries are
+ *                 targets).
+ * @param features Feature table (h^0).
+ * @param m        Model config.
+ * @return One hiddenDim-sized embedding per hop-0 entry, in subgraph
+ *         order.
+ */
+std::vector<std::vector<float>> forward(const Subgraph &sg,
+                                        const graph::FeatureTable &features,
+                                        const ModelConfig &m);
+
+/**
+ * FP16-accurate forward pass: features, aggregates and layer outputs
+ * are rounded through IEEE binary16 after every operation, matching
+ * the paper's FP16 datapath. Results track forward() within half-
+ * precision rounding error (validated by the test suite).
+ */
+std::vector<std::vector<float>> forwardFp16(
+    const Subgraph &sg, const graph::FeatureTable &features,
+    const ModelConfig &m);
+
+/** Exact compute demand of @p sg (for accelerator timing). */
+ComputeWorkload measureCompute(const Subgraph &sg, const ModelConfig &m);
+
+} // namespace beacongnn::gnn
+
+#endif // BEACONGNN_GNN_COMPUTE_H

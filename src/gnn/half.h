@@ -1,0 +1,137 @@
+/**
+ * @file
+ * IEEE 754 binary16 (FP16) software implementation.
+ *
+ * The paper stores features and intermediate embeddings as FP16
+ * vectors (§VII-A). This header provides bit-exact conversions
+ * (round-to-nearest-even, with subnormal, infinity and NaN handling)
+ * and a small value type used by the FP16-accurate forward pass.
+ */
+
+#ifndef BEACONGNN_GNN_HALF_H
+#define BEACONGNN_GNN_HALF_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace beacongnn::gnn {
+
+/** Convert a float to FP16 bits (round to nearest even). */
+constexpr std::uint16_t
+floatToHalfBits(float f)
+{
+    std::uint32_t x = __builtin_bit_cast(std::uint32_t, f);
+    std::uint32_t sign = (x >> 16) & 0x8000u;
+    std::uint32_t exp = (x >> 23) & 0xffu;
+    std::uint32_t mant = x & 0x7fffffu;
+
+    if (exp == 0xff) {
+        // Inf / NaN: preserve NaN-ness with a quiet mantissa bit.
+        return static_cast<std::uint16_t>(
+            sign | 0x7c00u | (mant ? 0x200u | (mant >> 13) : 0u));
+    }
+    // Re-bias 127 -> 15.
+    std::int32_t e = static_cast<std::int32_t>(exp) - 127 + 15;
+    if (e >= 0x1f) {
+        return static_cast<std::uint16_t>(sign | 0x7c00u); // Overflow.
+    }
+    if (e <= 0) {
+        // Subnormal half (or underflow to zero).
+        if (e < -10)
+            return static_cast<std::uint16_t>(sign);
+        mant |= 0x800000u; // Implicit leading one.
+        unsigned shift = static_cast<unsigned>(14 - e);
+        std::uint32_t half_mant = mant >> shift;
+        // Round to nearest even.
+        std::uint32_t rem = mant & ((1u << shift) - 1);
+        std::uint32_t halfway = 1u << (shift - 1);
+        if (rem > halfway || (rem == halfway && (half_mant & 1)))
+            ++half_mant;
+        return static_cast<std::uint16_t>(sign | half_mant);
+    }
+    std::uint32_t half = sign | (static_cast<std::uint32_t>(e) << 10) |
+                         (mant >> 13);
+    // Round to nearest even on the dropped 13 bits.
+    std::uint32_t rem = mant & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (half & 1)))
+        ++half; // May carry into the exponent; that is correct.
+    return static_cast<std::uint16_t>(half);
+}
+
+/** Convert FP16 bits to a float. */
+constexpr float
+halfBitsToFloat(std::uint16_t h)
+{
+    std::uint32_t sign = (static_cast<std::uint32_t>(h) & 0x8000u) << 16;
+    std::uint32_t exp = (h >> 10) & 0x1fu;
+    std::uint32_t mant = h & 0x3ffu;
+
+    std::uint32_t out;
+    if (exp == 0) {
+        if (mant == 0) {
+            out = sign; // Signed zero.
+        } else {
+            // Subnormal: normalize.
+            std::int32_t e = -1;
+            std::uint32_t m = mant;
+            while ((m & 0x400u) == 0) {
+                m <<= 1;
+                ++e;
+            }
+            m &= 0x3ffu;
+            out = sign |
+                  (static_cast<std::uint32_t>(127 - 15 - e) << 23) |
+                  (m << 13);
+        }
+    } else if (exp == 0x1f) {
+        out = sign | 0x7f800000u | (mant << 13); // Inf / NaN.
+    } else {
+        out = sign | ((exp + 127 - 15) << 23) | (mant << 13);
+    }
+    return __builtin_bit_cast(float, out);
+}
+
+/** Round a float through FP16 precision. */
+constexpr float
+toHalfPrecision(float f)
+{
+    return halfBitsToFloat(floatToHalfBits(f));
+}
+
+/** Small FP16 value type (storage type; arithmetic via float). */
+class Half
+{
+  public:
+    Half() = default;
+    explicit Half(float f) : bits_(floatToHalfBits(f)) {}
+
+    static Half
+    fromBits(std::uint16_t b)
+    {
+        Half h;
+        h.bits_ = b;
+        return h;
+    }
+
+    std::uint16_t bits() const { return bits_; }
+    float toFloat() const { return halfBitsToFloat(bits_); }
+
+    Half
+    operator+(Half o) const
+    {
+        return Half(toFloat() + o.toFloat());
+    }
+    Half
+    operator*(Half o) const
+    {
+        return Half(toFloat() * o.toFloat());
+    }
+    bool operator==(Half o) const { return bits_ == o.bits_; }
+
+  private:
+    std::uint16_t bits_ = 0;
+};
+
+} // namespace beacongnn::gnn
+
+#endif // BEACONGNN_GNN_HALF_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * GNN task configuration (§VII-A): K-hop subgraphs with a fixed
+ * fanout, vector_sum aggregation and a perceptron update per layer,
+ * FP16 128-dim intermediate embeddings.
+ */
+
+#ifndef BEACONGNN_GNN_MODEL_H
+#define BEACONGNN_GNN_MODEL_H
+
+#include <cstdint>
+#include <vector>
+
+namespace beacongnn::gnn {
+
+/** Aggregation operator of the message-passing rule. */
+enum class Aggregation : std::uint8_t
+{
+    VectorSum, ///< Element-wise sum (the paper's configuration).
+    Mean,      ///< Element-wise mean (extension).
+};
+
+/** Static description of the GNN task. */
+struct ModelConfig
+{
+    std::uint8_t hops = 3;       ///< K (sampling depth).
+    std::uint8_t fanout = 3;     ///< Neighbours sampled per node/hop.
+    std::uint16_t featureDim = 128; ///< Input feature dimension.
+    std::uint16_t hiddenDim = 128;  ///< Intermediate embedding dim.
+    Aggregation aggregation = Aggregation::VectorSum;
+    std::uint64_t seed = 1;      ///< Sampling / weight seed.
+
+    /** Nodes in a full k-hop subgraph per target (40 for 3/3). */
+    std::uint32_t
+    subgraphNodes() const
+    {
+        std::uint32_t total = 0;
+        std::uint32_t level = 1;
+        for (unsigned h = 0; h <= hops; ++h) {
+            total += level;
+            level *= fanout;
+        }
+        return total;
+    }
+
+    /** Nodes at hops 0..h inclusive. */
+    std::uint32_t
+    nodesThroughHop(unsigned h) const
+    {
+        std::uint32_t total = 0;
+        std::uint32_t level = 1;
+        for (unsigned i = 0; i <= h && i <= hops; ++i) {
+            total += level;
+            level *= fanout;
+        }
+        return total;
+    }
+};
+
+/** One GEMM of the update step (timing input for the accelerator). */
+struct GemmShape
+{
+    std::uint64_t m = 0; ///< Rows (nodes updated).
+    std::uint64_t n = 0; ///< Output dimension.
+    std::uint64_t k = 0; ///< Input dimension.
+
+    std::uint64_t macs() const { return m * n * k; }
+};
+
+/** Aggregate compute demand of one mini-batch. */
+struct ComputeWorkload
+{
+    std::vector<GemmShape> gemms;       ///< One per layer.
+    std::uint64_t aggregateElements = 0; ///< Vector-sum element ops.
+
+    std::uint64_t
+    totalMacs() const
+    {
+        std::uint64_t t = 0;
+        for (const auto &g : gemms)
+            t += g.macs();
+        return t;
+    }
+};
+
+/**
+ * Expected compute demand of @p batch_size targets (used by the
+ * timing model; the functional path computes the real thing).
+ */
+inline ComputeWorkload
+estimateCompute(const ModelConfig &m, std::uint32_t batch_size)
+{
+    ComputeWorkload w;
+    for (unsigned l = 1; l <= m.hops; ++l) {
+        GemmShape g;
+        g.m = std::uint64_t{batch_size} * m.nodesThroughHop(m.hops - l);
+        g.n = m.hiddenDim;
+        g.k = (l == 1) ? m.featureDim : m.hiddenDim;
+        w.gemms.push_back(g);
+        // Each updated node sums `fanout` child vectors plus itself.
+        w.aggregateElements += g.m * (m.fanout + 1) * g.k;
+    }
+    return w;
+}
+
+} // namespace beacongnn::gnn
+
+#endif // BEACONGNN_GNN_MODEL_H

@@ -1,0 +1,135 @@
+#include "gnn/sampler.h"
+
+#include "sim/rng.h"
+
+namespace beacongnn::gnn {
+
+PrimaryDraws
+drawPrimary(std::uint64_t seed, std::uint64_t batch, std::uint8_t hop,
+            graph::NodeId node, std::uint8_t fanout, std::uint32_t degree,
+            std::uint32_t in_page,
+            std::span<const dg::SecondaryRef> secondaries)
+{
+    PrimaryDraws out;
+    out.secondaryHits.assign(secondaries.size(), 0);
+    if (degree == 0)
+        return out;
+    for (std::uint8_t i = 0; i < fanout; ++i) {
+        auto r = static_cast<std::uint32_t>(
+            sim::keyedBelow(seed, batch, hop, node, i, degree));
+        if (r < in_page) {
+            out.inPagePicks.push_back(r);
+        } else {
+            // Locate the secondary section covering index r.
+            std::uint32_t start = in_page;
+            for (std::size_t j = 0; j < secondaries.size(); ++j) {
+                if (r < start + secondaries[j].count) {
+                    ++out.secondaryHits[j];
+                    break;
+                }
+                start += secondaries[j].count;
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<std::uint32_t>
+drawSecondary(std::uint64_t seed, std::uint64_t batch, std::uint8_t hop,
+              graph::NodeId node, std::uint32_t secondary_idx,
+              std::uint32_t first_draw, std::uint32_t count,
+              std::uint32_t section_size)
+{
+    std::vector<std::uint32_t> picks;
+    picks.reserve(count);
+    for (std::uint32_t t = first_draw; t < first_draw + count; ++t) {
+        std::uint32_t draw = kSecondaryDrawBase +
+                             secondary_idx * kSecondaryDrawStride + t;
+        picks.push_back(static_cast<std::uint32_t>(sim::keyedBelow(
+            seed, batch, hop, node, draw, section_size)));
+    }
+    return picks;
+}
+
+namespace {
+
+/** Recursive expansion shared by both disciplines. */
+template <typename ChildFn>
+void
+expand(Subgraph &sg, const ModelConfig &m, graph::NodeId node,
+       std::uint8_t hop, Slot parent, ChildFn &&children)
+{
+    Slot slot = sg.add(node, hop, parent);
+    if (hop >= m.hops)
+        return;
+    for (graph::NodeId c : children(node, hop)) {
+        expand(sg, m, c, static_cast<std::uint8_t>(hop + 1), slot,
+               children);
+    }
+}
+
+} // namespace
+
+Subgraph
+csrSample(const graph::Graph &g, const ModelConfig &m, std::uint64_t batch,
+          std::span<const graph::NodeId> targets)
+{
+    Subgraph sg;
+    auto children = [&](graph::NodeId v,
+                        std::uint8_t hop) -> std::vector<graph::NodeId> {
+        std::vector<graph::NodeId> out;
+        std::uint32_t deg = g.degree(v);
+        if (deg == 0)
+            return out;
+        out.reserve(m.fanout);
+        for (std::uint8_t i = 0; i < m.fanout; ++i) {
+            auto r = static_cast<std::uint32_t>(
+                sim::keyedBelow(m.seed, batch, hop, v, i, deg));
+            out.push_back(g.neighbor(v, r));
+        }
+        return out;
+    };
+    for (graph::NodeId t : targets)
+        expand(sg, m, t, 0, kNoParent, children);
+    return sg;
+}
+
+Subgraph
+layoutSample(const graph::Graph &g, const dg::DirectGraphLayout &layout,
+             const ModelConfig &m, std::uint64_t batch,
+             std::span<const graph::NodeId> targets)
+{
+    Subgraph sg;
+    auto children = [&](graph::NodeId v,
+                        std::uint8_t hop) -> std::vector<graph::NodeId> {
+        std::vector<graph::NodeId> out;
+        const dg::NodeLayout &nl = layout.nodes[v];
+        if (nl.degree == 0)
+            return out;
+        PrimaryDraws d = drawPrimary(m.seed, batch, hop, v, m.fanout,
+                                     nl.degree, nl.inPage, nl.secondaries);
+        out.reserve(m.fanout);
+        for (std::uint32_t r : d.inPagePicks)
+            out.push_back(g.neighbor(v, r));
+        for (std::size_t j = 0; j < d.secondaryHits.size(); ++j) {
+            std::uint32_t c = d.secondaryHits[j];
+            if (c == 0)
+                continue;
+            std::uint32_t start = nl.inPage;
+            for (std::size_t k = 0; k < j; ++k)
+                start += nl.secondaries[k].count;
+            for (std::uint32_t idx : drawSecondary(
+                     m.seed, batch, hop, v,
+                     static_cast<std::uint32_t>(j), 0, c,
+                     nl.secondaries[j].count)) {
+                out.push_back(g.neighbor(v, start + idx));
+            }
+        }
+        return out;
+    };
+    for (graph::NodeId t : targets)
+        expand(sg, m, t, 0, kNoParent, children);
+    return sg;
+}
+
+} // namespace beacongnn::gnn

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Golden (host-side) neighbour samplers.
+ *
+ * Two sampling disciplines exist in the system:
+ *
+ *  - csrSample(): plain uniform sampling over the full neighbour list
+ *    (what the host CPU of the CC/GLIST platforms and the firmware of
+ *    SmartSage/BG-1 do).
+ *
+ *  - layoutSample(): the DirectGraph two-level discipline of §V-A —
+ *    fanout draws over the full range; draws landing in the in-page
+ *    portion resolve immediately, draws landing in a secondary
+ *    section are *re-drawn within that section* by the coalesced
+ *    secondary command (modulo a TRNG value, per the paper). This is
+ *    exactly what the die-level sampler executes, so the two must
+ *    produce identical subgraphs — the core equivalence property.
+ *
+ * Both use keyed, order-independent randomness (sim/rng.h), so any
+ * execution order (hop-by-hop, out-of-order, streaming) yields the
+ * same subgraph for the same seed.
+ */
+
+#ifndef BEACONGNN_GNN_SAMPLER_H
+#define BEACONGNN_GNN_SAMPLER_H
+
+#include <cstdint>
+#include <span>
+
+#include "directgraph/layout.h"
+#include "gnn/model.h"
+#include "gnn/subgraph.h"
+#include "graph/graph.h"
+
+namespace beacongnn::gnn {
+
+/** Draw-index base for secondary-section re-draws (see sampler.cc). */
+inline constexpr std::uint32_t kSecondaryDrawBase = 1024;
+inline constexpr std::uint32_t kSecondaryDrawStride = 64;
+
+/**
+ * Sample the full mini-batch subgraph with plain CSR semantics.
+ *
+ * @param g       Graph.
+ * @param m       Model (hops, fanout, seed).
+ * @param batch   Mini-batch id (keys the RNG).
+ * @param targets Target nodes of this mini-batch.
+ */
+Subgraph csrSample(const graph::Graph &g, const ModelConfig &m,
+                   std::uint64_t batch,
+                   std::span<const graph::NodeId> targets);
+
+/**
+ * Sample the full mini-batch subgraph with DirectGraph two-level
+ * semantics, following the layout's in-page/secondary split.
+ */
+Subgraph layoutSample(const graph::Graph &g,
+                      const dg::DirectGraphLayout &layout,
+                      const ModelConfig &m, std::uint64_t batch,
+                      std::span<const graph::NodeId> targets);
+
+/**
+ * The primary-section sampling kernel shared by layoutSample() and
+ * the die-level sampler model: draw @p m.fanout indices over
+ * [0, degree), return the in-page picks directly and the per-
+ * secondary-section hit counts for coalesced continuation commands.
+ */
+struct PrimaryDraws
+{
+    /** In-page picks: indices < inPage (resolve on this page). */
+    std::vector<std::uint32_t> inPagePicks;
+    /** Hits per secondary section (size = #secondaries). */
+    std::vector<std::uint32_t> secondaryHits;
+};
+
+PrimaryDraws drawPrimary(std::uint64_t seed, std::uint64_t batch,
+                         std::uint8_t hop, graph::NodeId node,
+                         std::uint8_t fanout, std::uint32_t degree,
+                         std::uint32_t in_page,
+                         std::span<const dg::SecondaryRef> secondaries);
+
+/**
+ * The secondary-section re-draw kernel: draw indices
+ * [first_draw, first_draw + count) within a section of
+ * @p section_size entries, keyed on the owning node, the hop and the
+ * secondary index — so a coalesced command (first_draw = 0, count =
+ * hits) and `hits` non-coalesced single-draw commands produce the
+ * exact same picks (the coalescing ablation relies on this).
+ */
+std::vector<std::uint32_t> drawSecondary(std::uint64_t seed,
+                                         std::uint64_t batch,
+                                         std::uint8_t hop,
+                                         graph::NodeId node,
+                                         std::uint32_t secondary_idx,
+                                         std::uint32_t first_draw,
+                                         std::uint32_t count,
+                                         std::uint32_t section_size);
+
+} // namespace beacongnn::gnn
+
+#endif // BEACONGNN_GNN_SAMPLER_H

@@ -1,0 +1,235 @@
+#include "gnn/training.h"
+
+#include <cmath>
+
+#include "sim/log.h"
+#include "sim/rng.h"
+
+namespace beacongnn::gnn {
+
+TrainState
+TrainState::init(const ModelConfig &m)
+{
+    TrainState st;
+    for (unsigned l = 1; l <= m.hops; ++l) {
+        st.weights.push_back(
+            makeWeights(m.seed, l, m.hiddenDim, layerInputDim(m, l)));
+    }
+    return st;
+}
+
+float
+pseudoLabel(graph::NodeId v, std::uint16_t i, std::uint16_t dim,
+            std::uint64_t seed)
+{
+    (void)dim;
+    auto bits = sim::splitmix64(seed ^ 0xfeedf00dull ^
+                                (std::uint64_t{v} << 17) ^ i);
+    return (static_cast<float>(bits & 0xffff) / 32768.0f - 1.0f) * 0.1f;
+}
+
+namespace {
+
+/** Per-layer cached state of one forward pass. */
+struct ForwardCache
+{
+    /** act[l][slot] — activations after layer l (l = 0 is h^0). */
+    std::vector<std::vector<std::vector<float>>> act;
+    /** agg[l][slot] — aggregated inputs fed to layer l (l >= 1). */
+    std::vector<std::vector<std::vector<float>>> agg;
+};
+
+/** Forward with caching; returns MAC count. */
+std::uint64_t
+cachedForward(const Subgraph &sg, const graph::FeatureTable &features,
+              const ModelConfig &m, const TrainState &state,
+              const std::vector<std::vector<Slot>> &children,
+              ForwardCache &fc)
+{
+    const auto &entries = sg.all();
+    std::uint64_t macs = 0;
+    fc.act.assign(m.hops + 1u, {});
+    fc.agg.assign(m.hops + 1u, {});
+    fc.act[0].resize(entries.size());
+    for (Slot s = 0; s < entries.size(); ++s) {
+        fc.act[0][s].resize(m.featureDim);
+        for (std::uint16_t i = 0; i < m.featureDim; ++i)
+            fc.act[0][s][i] = features.value(entries[s].node, i);
+    }
+
+    for (unsigned l = 1; l <= m.hops; ++l) {
+        std::uint32_t n_in = TrainState::layerInputDim(m, l);
+        std::uint32_t n_out = m.hiddenDim;
+        const auto &w = state.weights[l - 1];
+        unsigned max_hop = m.hops - l;
+        fc.act[l].resize(entries.size());
+        fc.agg[l].resize(entries.size());
+        for (Slot s = 0; s < entries.size(); ++s) {
+            if (entries[s].hop > max_hop)
+                continue;
+            auto &a = fc.agg[l][s];
+            a = fc.act[l - 1][s];
+            for (Slot c : children[s])
+                for (std::uint32_t i = 0; i < n_in; ++i)
+                    a[i] += fc.act[l - 1][c][i];
+            auto &out = fc.act[l][s];
+            out.assign(n_out, 0.0f);
+            for (std::uint32_t o = 0; o < n_out; ++o) {
+                float acc = 0.0f;
+                const float *row = w.data() + std::size_t{o} * n_in;
+                for (std::uint32_t i = 0; i < n_in; ++i)
+                    acc += row[i] * a[i];
+                out[o] = std::max(0.0f, acc);
+            }
+            macs += std::uint64_t{n_in} * n_out;
+        }
+    }
+    return macs;
+}
+
+} // namespace
+
+StepResult
+trainStep(const Subgraph &sg, const graph::FeatureTable &features,
+          const ModelConfig &m, TrainState &state, float lr,
+          std::vector<std::vector<float>> *grad_out)
+{
+    if (m.aggregation != Aggregation::VectorSum)
+        sim::fatal("trainStep: only vector_sum aggregation is "
+                   "differentiable in this build");
+    if (state.weights.size() != m.hops)
+        sim::fatal("trainStep: state does not match the model depth");
+
+    StepResult res;
+    const auto &entries = sg.all();
+    auto children = sg.childrenIndex();
+    ForwardCache fc;
+    res.macsForward = cachedForward(sg, features, m, state, children, fc);
+
+    // ---- Loss on the hop-0 embeddings --------------------------------
+    std::vector<Slot> targets;
+    for (Slot s = 0; s < entries.size(); ++s)
+        if (entries[s].hop == 0)
+            targets.push_back(s);
+    if (targets.empty())
+        return res;
+    double n = static_cast<double>(targets.size()) * m.hiddenDim;
+
+    // dAct at the top layer.
+    std::vector<std::vector<float>> d_act(entries.size());
+    double loss = 0;
+    for (Slot t : targets) {
+        d_act[t].assign(m.hiddenDim, 0.0f);
+        for (std::uint16_t i = 0; i < m.hiddenDim; ++i) {
+            float y = pseudoLabel(entries[t].node, i, m.hiddenDim,
+                                  m.seed);
+            float diff = fc.act[m.hops][t][i] - y;
+            loss += 0.5 * diff * diff;
+            d_act[t][i] = static_cast<float>(diff / n);
+        }
+    }
+    res.loss = loss / n;
+
+    // ---- Backward -----------------------------------------------------
+    std::vector<std::vector<float>> grads(m.hops);
+    for (unsigned l = m.hops; l >= 1; --l) {
+        std::uint32_t n_in = TrainState::layerInputDim(m, l);
+        std::uint32_t n_out = m.hiddenDim;
+        const auto &w = state.weights[l - 1];
+        auto &dw = grads[l - 1];
+        dw.assign(w.size(), 0.0f);
+        unsigned max_hop = m.hops - l;
+
+        std::vector<std::vector<float>> d_prev(entries.size());
+        for (Slot s = 0; s < entries.size(); ++s) {
+            if (entries[s].hop > max_hop || d_act[s].empty())
+                continue;
+            // Through the ReLU: act > 0 <=> pre > 0.
+            std::vector<float> d_pre(n_out);
+            for (std::uint32_t o = 0; o < n_out; ++o)
+                d_pre[o] = fc.act[l][s][o] > 0.0f ? d_act[s][o] : 0.0f;
+            // Weight gradient and input gradient.
+            std::vector<float> d_agg(n_in, 0.0f);
+            const auto &a = fc.agg[l][s];
+            for (std::uint32_t o = 0; o < n_out; ++o) {
+                float dp = d_pre[o];
+                if (dp == 0.0f)
+                    continue;
+                float *dw_row = dw.data() + std::size_t{o} * n_in;
+                const float *w_row = w.data() + std::size_t{o} * n_in;
+                for (std::uint32_t i = 0; i < n_in; ++i) {
+                    dw_row[i] += dp * a[i];
+                    d_agg[i] += dp * w_row[i];
+                }
+            }
+            res.macsBackward += 2ull * n_in * n_out;
+            // Sum aggregation distributes the gradient to the slot
+            // itself and every child.
+            auto add_to = [&](Slot dst) {
+                if (d_prev[dst].empty())
+                    d_prev[dst].assign(n_in, 0.0f);
+                for (std::uint32_t i = 0; i < n_in; ++i)
+                    d_prev[dst][i] += d_agg[i];
+            };
+            add_to(s);
+            for (Slot c : children[s])
+                add_to(c);
+        }
+        d_act = std::move(d_prev);
+    }
+
+    // ---- Gradient norm + SGD update -----------------------------------
+    double norm2 = 0;
+    for (const auto &gw : grads)
+        for (float v : gw)
+            norm2 += static_cast<double>(v) * v;
+    res.gradNorm = std::sqrt(norm2);
+    if (lr != 0.0f) {
+        for (unsigned l = 0; l < m.hops; ++l)
+            for (std::size_t i = 0; i < grads[l].size(); ++i)
+                state.weights[l][i] -= lr * grads[l][i];
+    }
+    if (grad_out)
+        *grad_out = std::move(grads);
+    return res;
+}
+
+std::vector<std::vector<float>>
+forwardWith(const Subgraph &sg, const graph::FeatureTable &features,
+            const ModelConfig &m, const TrainState &state)
+{
+    auto children = sg.childrenIndex();
+    ForwardCache fc;
+    cachedForward(sg, features, m, state, children, fc);
+    std::vector<std::vector<float>> out;
+    const auto &entries = sg.all();
+    for (Slot s = 0; s < entries.size(); ++s)
+        if (entries[s].hop == 0)
+            out.push_back(fc.act[m.hops][s]);
+    return out;
+}
+
+double
+evaluateLoss(const Subgraph &sg, const graph::FeatureTable &features,
+             const ModelConfig &m, const TrainState &state)
+{
+    auto out = forwardWith(sg, features, m, state);
+    const auto &entries = sg.all();
+    std::vector<Slot> targets;
+    for (Slot s = 0; s < entries.size(); ++s)
+        if (entries[s].hop == 0)
+            targets.push_back(s);
+    double loss = 0;
+    double n = static_cast<double>(targets.size()) * m.hiddenDim;
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+        for (std::uint16_t i = 0; i < m.hiddenDim; ++i) {
+            float y = pseudoLabel(entries[targets[t]].node, i,
+                                  m.hiddenDim, m.seed);
+            float diff = out[t][i] - y;
+            loss += 0.5 * diff * diff;
+        }
+    }
+    return n == 0 ? 0.0 : loss / n;
+}
+
+} // namespace beacongnn::gnn

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The five evaluation workloads (Table III/IV) as synthetic specs.
+ *
+ * Each spec preserves the shape parameters that drive every evaluated
+ * effect — average degree (pages per neighbour list) and feature
+ * dimension (bytes per channel transfer) — while scaling the node
+ * count down so a full simulation completes in seconds. `simNodes`
+ * can be overridden for larger runs.
+ */
+
+#ifndef BEACONGNN_GRAPH_DATASET_H
+#define BEACONGNN_GRAPH_DATASET_H
+
+#include <string>
+#include <vector>
+
+#include "graph/generator.h"
+#include "graph/graph.h"
+
+namespace beacongnn::graph {
+
+/** One evaluation workload. */
+struct WorkloadSpec
+{
+    std::string name;
+    NodeId simNodes;         ///< Scaled node count for simulation.
+    double avgDegree;        ///< Table III average degree.
+    std::uint16_t featureDim; ///< FP16 elements per node.
+    double paperRawGB;       ///< Raw dataset volume (Table IV).
+    double paperInflatePct;  ///< DirectGraph inflation (Table IV).
+    std::uint64_t seed;
+
+    /** Bytes of one feature vector. */
+    std::uint32_t featureBytes() const { return std::uint32_t{featureDim} * 2; }
+
+    /** Instantiate the synthetic graph for this spec. */
+    Graph
+    makeGraph() const
+    {
+        GeneratorParams p;
+        p.nodes = simNodes;
+        p.avgDegree = avgDegree;
+        p.seed = seed;
+        return generatePowerLaw(p);
+    }
+
+    /** Instantiate the (procedural) feature table for this spec. */
+    FeatureTable makeFeatures() const { return FeatureTable(featureDim, seed); }
+};
+
+/** The five workloads of the evaluation section. */
+const std::vector<WorkloadSpec> &workloads();
+
+/** Lookup by name; fatal() on unknown names. */
+const WorkloadSpec &workload(const std::string &name);
+
+} // namespace beacongnn::graph
+
+#endif // BEACONGNN_GRAPH_DATASET_H

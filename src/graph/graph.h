@@ -1,0 +1,151 @@
+/**
+ * @file
+ * In-memory CSR graph and procedural FP16 feature table.
+ *
+ * The CSR graph is the "raw dataset" input to DirectGraph conversion
+ * and the golden reference for all samplers. Features are procedural:
+ * element (node, i) is a deterministic function of both, so a feature
+ * table of any size can be checked byte-for-byte after a round trip
+ * through flash pages without storing it twice.
+ */
+
+#ifndef BEACONGNN_GRAPH_GRAPH_H
+#define BEACONGNN_GRAPH_GRAPH_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace beacongnn::graph {
+
+/** Graph node id (INT-32 per §VII-A). */
+using NodeId = std::uint32_t;
+
+/** Compressed sparse row adjacency. */
+class Graph
+{
+  public:
+    Graph() { offsets.push_back(0); }
+
+    /**
+     * Build from explicit adjacency.
+     * @param adjacency adjacency[v] lists the out-neighbours of v.
+     */
+    explicit Graph(const std::vector<std::vector<NodeId>> &adjacency)
+    {
+        offsets.reserve(adjacency.size() + 1);
+        offsets.push_back(0);
+        for (const auto &nbrs : adjacency) {
+            edges.insert(edges.end(), nbrs.begin(), nbrs.end());
+            offsets.push_back(static_cast<std::uint64_t>(edges.size()));
+        }
+    }
+
+    /** Build from CSR arrays directly (generator fast path). */
+    Graph(std::vector<std::uint64_t> offs, std::vector<NodeId> dst)
+        : offsets(std::move(offs)), edges(std::move(dst))
+    {
+    }
+
+    NodeId numNodes() const
+    {
+        return static_cast<NodeId>(offsets.size() - 1);
+    }
+
+    std::uint64_t numEdges() const { return edges.size(); }
+
+    std::uint32_t
+    degree(NodeId v) const
+    {
+        return static_cast<std::uint32_t>(offsets[v + 1] - offsets[v]);
+    }
+
+    /** Neighbour list of @p v. */
+    std::span<const NodeId>
+    neighbors(NodeId v) const
+    {
+        return {edges.data() + offsets[v],
+                static_cast<std::size_t>(offsets[v + 1] - offsets[v])};
+    }
+
+    /** i-th neighbour of @p v. */
+    NodeId
+    neighbor(NodeId v, std::uint32_t i) const
+    {
+        return edges[offsets[v] + i];
+    }
+
+    double
+    avgDegree() const
+    {
+        return numNodes() == 0
+                   ? 0.0
+                   : static_cast<double>(numEdges()) / numNodes();
+    }
+
+  private:
+    std::vector<std::uint64_t> offsets;
+    std::vector<NodeId> edges;
+};
+
+/**
+ * Procedural FP16 feature table: X[v][i] is a pure function of (v, i),
+ * reproducible anywhere (host builder, die sampler verification,
+ * golden compute) without storage.
+ */
+class FeatureTable
+{
+  public:
+    /**
+     * @param dim  Feature dimension (elements per node).
+     * @param seed Dataset seed.
+     */
+    explicit FeatureTable(std::uint16_t dim, std::uint64_t seed = 7)
+        : _dim(dim), seed(seed)
+    {
+    }
+
+    std::uint16_t dim() const { return _dim; }
+    std::uint32_t bytesPerNode() const { return std::uint32_t{_dim} * 2; }
+
+    /** Raw FP16 bits of element (v, i). */
+    std::uint16_t
+    raw(NodeId v, std::uint16_t i) const
+    {
+        return static_cast<std::uint16_t>(
+            sim::splitmix64(seed ^ (std::uint64_t{v} << 20) ^ i));
+    }
+
+    /**
+     * Element (v, i) as a float in roughly [-1, 1) (deterministic;
+     * used by the functional GNN compute path).
+     */
+    float
+    value(NodeId v, std::uint16_t i) const
+    {
+        auto bits = raw(v, i);
+        return (static_cast<float>(bits) / 32768.0f) - 1.0f;
+    }
+
+    /** Serialize node @p v's vector into @p out (little endian FP16 bits). */
+    void
+    fill(NodeId v, std::span<std::uint8_t> out) const
+    {
+        for (std::uint16_t i = 0; i < _dim && (2u * i + 1) < out.size();
+             ++i) {
+            std::uint16_t b = raw(v, i);
+            out[2 * i] = static_cast<std::uint8_t>(b & 0xff);
+            out[2 * i + 1] = static_cast<std::uint8_t>(b >> 8);
+        }
+    }
+
+  private:
+    std::uint16_t _dim;
+    std::uint64_t seed;
+};
+
+} // namespace beacongnn::graph
+
+#endif // BEACONGNN_GRAPH_GRAPH_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Computational storage array (§VIII "Practicality and future
+ * proof"): multiple BeaconGNN SSDs connected by direct P2P links,
+ * working collaboratively on one GNN task.
+ *
+ * The graph is hash-partitioned across devices; every device runs the
+ * full BG-2 stack (die samplers + channel routers) over its shard.
+ * When a sampling command's destination node lives on another device,
+ * the command descriptor crosses the P2P link (small transfer) and
+ * continues on the owner — the out-of-order streaming discipline is
+ * unchanged, and thanks to keyed sampling the array produces exactly
+ * the same subgraphs as a single device.
+ */
+
+#ifndef BEACONGNN_PLATFORMS_ARRAY_H
+#define BEACONGNN_PLATFORMS_ARRAY_H
+
+#include "platforms/runner.h"
+
+namespace beacongnn::platforms {
+
+/** Array configuration. */
+struct ArrayConfig
+{
+    unsigned devices = 4;            ///< BeaconGNN SSDs in the array.
+    double p2pMBps = 4000.0;         ///< Per-device P2P port bandwidth.
+    sim::Tick p2pLatency = sim::microseconds(1); ///< Link hop latency.
+    std::uint32_t commandBytes = 16; ///< Forwarded command descriptor.
+};
+
+/** Result of an array run. */
+struct ArrayRunResult
+{
+    unsigned devices = 0;
+    std::uint64_t targets = 0;
+    sim::Tick totalTime = 0;
+    double throughput = 0;          ///< Targets per second.
+    std::uint64_t commands = 0;
+    std::uint64_t crossDevice = 0;  ///< Commands that crossed the P2P.
+    double crossFraction = 0;
+    gnn::Subgraph lastSubgraph;
+    bool ok = true;
+};
+
+/**
+ * Run a BG-2 workload on an array of @p acfg.devices SSDs.
+ * Node v is owned by device hash(v) % devices; each device gets its
+ * own flash backend, firmware, channel router and accelerator.
+ */
+ArrayRunResult runArray(const ArrayConfig &acfg, const RunConfig &run,
+                        const WorkloadBundle &bundle);
+
+} // namespace beacongnn::platforms
+
+#endif // BEACONGNN_PLATFORMS_ARRAY_H

@@ -1,0 +1,101 @@
+#include "platforms/platform.h"
+
+#include "sim/log.h"
+
+namespace beacongnn::platforms {
+
+PlatformConfig
+makePlatform(PlatformKind kind)
+{
+    using engines::SamplingLoc;
+    PlatformConfig p;
+    p.kind = kind;
+    p.name = platformName(kind);
+    auto &f = p.flags;
+    switch (kind) {
+      case PlatformKind::CC:
+        f.sampling = SamplingLoc::Host;
+        f.pciePageLegs = 1;      // Neighbour-list pages to the host.
+        f.featuresViaHost = true; // Feature pages host -> accel.
+        p.ssdCompute = false;
+        break;
+      case PlatformKind::GLIST:
+        f.sampling = SamplingLoc::Host;
+        f.pciePageLegs = 1; // Sampling still host-side.
+        p.ssdCompute = true; // Feature lookup + compute offloaded.
+        break;
+      case PlatformKind::SmartSage:
+        f.sampling = SamplingLoc::Firmware;
+        f.featuresViaHost = true; // SSD -> host -> discrete accel.
+        f.idsToHost = true;
+        p.ssdCompute = false;
+        break;
+      case PlatformKind::BG1:
+        f.sampling = SamplingLoc::Firmware;
+        f.idsToHost = true;   // Inter-hop host translation remains.
+        p.ssdCompute = true;
+        break;
+      case PlatformKind::BG_DG:
+        f.sampling = SamplingLoc::Firmware;
+        f.directGraph = true;
+        p.ssdCompute = true;
+        break;
+      case PlatformKind::BG_SP:
+        f.sampling = SamplingLoc::Die;
+        f.idsToHost = true;
+        p.ssdCompute = true;
+        break;
+      case PlatformKind::BG_DGSP:
+        f.sampling = SamplingLoc::Die;
+        f.directGraph = true;
+        p.ssdCompute = true;
+        break;
+      case PlatformKind::BG2:
+        f.sampling = SamplingLoc::Die;
+        f.directGraph = true;
+        f.hwRouter = true;
+        p.ssdCompute = true;
+        break;
+    }
+    return p;
+}
+
+const std::vector<PlatformKind> &
+allPlatforms()
+{
+    static const std::vector<PlatformKind> v = {
+        PlatformKind::CC,      PlatformKind::SmartSage,
+        PlatformKind::GLIST,   PlatformKind::BG1,
+        PlatformKind::BG_DG,   PlatformKind::BG_SP,
+        PlatformKind::BG_DGSP, PlatformKind::BG2,
+    };
+    return v;
+}
+
+const std::vector<PlatformKind> &
+bgLadder()
+{
+    static const std::vector<PlatformKind> v = {
+        PlatformKind::BG1,   PlatformKind::BG_DG,   PlatformKind::BG_SP,
+        PlatformKind::BG_DGSP, PlatformKind::BG2,
+    };
+    return v;
+}
+
+std::string
+platformName(PlatformKind kind)
+{
+    switch (kind) {
+      case PlatformKind::CC: return "CC";
+      case PlatformKind::GLIST: return "GLIST";
+      case PlatformKind::SmartSage: return "SmartSage";
+      case PlatformKind::BG1: return "BG-1";
+      case PlatformKind::BG_DG: return "BG-DG";
+      case PlatformKind::BG_SP: return "BG-SP";
+      case PlatformKind::BG_DGSP: return "BG-DGSP";
+      case PlatformKind::BG2: return "BG-2";
+    }
+    sim::panic("unknown platform kind");
+}
+
+} // namespace beacongnn::platforms

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Result reporting: CSV serialization of RunResult rows and
+ * utilization series so the bench outputs can be re-plotted with any
+ * external tooling (the figures in the paper are plots of exactly
+ * these series).
+ */
+
+#ifndef BEACONGNN_PLATFORMS_REPORT_H
+#define BEACONGNN_PLATFORMS_REPORT_H
+
+#include <ostream>
+
+#include "platforms/runner.h"
+
+namespace beacongnn::platforms {
+
+/** Write the RunResult CSV header row. */
+void writeCsvHeader(std::ostream &os);
+
+/** Write one RunResult as a CSV row. */
+void writeCsvRow(std::ostream &os, const RunResult &r);
+
+/**
+ * Write a utilization time series ("series,label,t0,t1,...") — one
+ * row per traced series of @p r (dies, channels).
+ */
+void writeSeriesCsv(std::ostream &os, const RunResult &r);
+
+/** Summary line for logs: platform, workload, throughput, energy. */
+std::string summaryLine(const RunResult &r);
+
+} // namespace beacongnn::platforms
+
+#endif // BEACONGNN_PLATFORMS_REPORT_H

@@ -1,0 +1,191 @@
+#include "platforms/runner.h"
+
+#include <algorithm>
+
+#include "gnn/compute.h"
+#include "sim/event_queue.h"
+#include "sim/log.h"
+#include "sim/rng.h"
+#include "ssd/firmware.h"
+
+namespace beacongnn::platforms {
+
+std::unique_ptr<WorkloadBundle>
+makeBundle(const graph::WorkloadSpec &spec,
+           const flash::FlashConfig &flash_cfg, gnn::ModelConfig model,
+           graph::NodeId node_override)
+{
+    auto bundle = std::make_unique<WorkloadBundle>();
+    WorkloadBundle &b = *bundle;
+    b.name = spec.name;
+    graph::WorkloadSpec s = spec;
+    if (node_override != 0)
+        s.simNodes = node_override;
+    b.graph = s.makeGraph();
+    b.features = s.makeFeatures();
+    model.featureDim = s.featureDim;
+    b.model = model;
+
+    // Reserve enough blocks for the layout: raw volume with generous
+    // headroom for inflation, rounded up.
+    std::uint64_t raw =
+        b.graph.numEdges() * 4 +
+        std::uint64_t{b.graph.numNodes()} * b.features.bytesPerNode();
+    std::uint64_t block_bytes =
+        std::uint64_t{flash_cfg.pagesPerBlock} * flash_cfg.pageSize;
+    std::uint64_t blocks =
+        std::max<std::uint64_t>((raw * 3) / block_bytes + 16,
+                                flash_cfg.totalDies() + 8);
+    ssd::Ftl ftl(flash_cfg);
+    auto reserved = ftl.reserveBlocks(blocks);
+    if (reserved.empty())
+        sim::fatal("makeBundle: cannot reserve " +
+                   std::to_string(blocks) + " blocks");
+    b.layout = dg::buildLayout(b.graph, b.features, flash_cfg, reserved);
+    b.source = std::make_unique<dg::LayoutSource>(b.layout, b.graph);
+    return bundle;
+}
+
+RunResult
+runPlatform(const PlatformConfig &platform, const RunConfig &run,
+            const WorkloadBundle &bundle)
+{
+    RunResult res;
+    res.platform = platform.name;
+    res.workload = bundle.name;
+
+    sim::EventQueue queue;
+    flash::FlashBackend backend(run.system.flash, run.traceUtilization);
+    ssd::Firmware fw(run.system);
+    // Mirror the bundle's block reservation in this run's FTL so the
+    // isolation invariants hold during the run.
+    fw.ftl().reserveBlocks(bundle.layout.blocks.size());
+
+    accel::Accelerator accelerator(platform.ssdCompute
+                                       ? accel::ssdAcceleratorConfig()
+                                       : accel::discreteTpuConfig());
+    sim::Bus accel_bus("accel");
+
+    engines::GnnEngine engine(queue, backend, fw, bundle.layout,
+                              bundle.graph, bundle.model, platform.flags,
+                              *bundle.source);
+
+    sim::Pcg32 rng(run.targetSeed, 0xACE5);
+    const graph::NodeId n_nodes = bundle.graph.numNodes();
+
+    sim::Tick prep_start = 0;
+    sim::Tick last_compute_end = 0;
+    std::uint64_t accel_macs = 0;
+    std::uint64_t accel_sram = 0;
+
+    for (std::uint32_t batch = 0; batch < run.batches; ++batch) {
+        std::vector<graph::NodeId> targets(run.batchSize);
+        for (auto &t : targets)
+            t = rng.below(n_nodes);
+
+        engines::PrepResult pr;
+        bool got = false;
+        engine.prepare(prep_start, batch, targets,
+                       [&](engines::PrepResult &&r) {
+                           pr = std::move(r);
+                           got = true;
+                       });
+        queue.run();
+        if (!got)
+            sim::panic("runPlatform: prep did not complete");
+        if (!pr.ok)
+            res.ok = false;
+
+        // Compute of this batch overlaps the next batch's prep.
+        gnn::ComputeWorkload w =
+            gnn::measureCompute(pr.subgraph, bundle.model);
+        accel::ComputeEstimate est = accelerator.estimate(w);
+        sim::Grant cg = accel_bus.acquire(pr.finish, est.total());
+        if (platform.ssdCompute && pr.tally.featureBytes > 0 &&
+            !platform.flags.bypassDram) {
+            // Staged features stream DRAM -> accelerator SRAM (the
+            // §VIII direct flash->SRAM option skips both DRAM legs).
+            fw.dram().acquire(cg.start, pr.tally.featureBytes);
+        }
+        last_compute_end = cg.end;
+        accel_macs += est.macs;
+        accel_sram += est.sramBytes;
+
+        // Merge statistics.
+        res.cmdStats.waitBefore = merged(res.cmdStats.waitBefore,
+                                         pr.cmdStats.waitBefore);
+        res.cmdStats.flashTime =
+            merged(res.cmdStats.flashTime, pr.cmdStats.flashTime);
+        res.cmdStats.waitAfter =
+            merged(res.cmdStats.waitAfter, pr.cmdStats.waitAfter);
+        res.cmdStats.lifetime =
+            merged(res.cmdStats.lifetime, pr.cmdStats.lifetime);
+        res.cmdStats.lifetimeHist.merge(pr.cmdStats.lifetimeHist);
+
+        res.tally.flashReads += pr.tally.flashReads;
+        res.tally.channelBytes += pr.tally.channelBytes;
+        res.tally.dramBytes += pr.tally.dramBytes;
+        res.tally.pcieBytes += pr.tally.pcieBytes;
+        res.tally.hostCpuBusy += pr.tally.hostCpuBusy;
+        res.tally.featureBytes += pr.tally.featureBytes;
+        res.tally.abortedCommands += pr.tally.abortedCommands;
+
+        res.hops = pr.hops;
+        res.lastBatchStart = pr.start;
+        res.lastSubgraph = std::move(pr.subgraph);
+        res.targets += targets.size();
+        prep_start = pr.finish;
+        res.prepTime = pr.finish;
+    }
+
+    res.totalTime = std::max(prep_start, last_compute_end);
+    res.throughput = res.totalTime == 0
+                         ? 0.0
+                         : static_cast<double>(res.targets) /
+                               sim::toSeconds(res.totalTime);
+
+    // Resource utilizations over the run.
+    sim::Tick horizon = std::max<sim::Tick>(1, res.totalTime);
+    res.dieUtil = static_cast<double>(backend.totalDieBusy()) /
+                  (static_cast<double>(horizon) * backend.dieCount());
+    res.channelUtil =
+        static_cast<double>(backend.totalChannelBusy()) /
+        (static_cast<double>(horizon) * backend.channelCount());
+    res.coreUtil = fw.coreUtilization(horizon);
+    res.dramUtil = fw.dram().utilization(horizon);
+    res.pcieUtil = fw.pcie().utilization(horizon);
+    res.accelBusy = accel_bus.busyTime();
+    res.hostBusy = res.tally.hostCpuBusy;
+
+    if (run.traceUtilization) {
+        std::vector<const sim::IntervalTrace *> die_traces;
+        for (unsigned d = 0; d < backend.dieCount(); ++d)
+            die_traces.push_back(&backend.die(d).intervals());
+        res.dieSeries = sim::activeSeries(die_traces, horizon,
+                                          run.utilizationBuckets);
+        std::vector<const sim::IntervalTrace *> ch_traces;
+        for (unsigned c = 0; c < backend.channelCount(); ++c)
+            ch_traces.push_back(&backend.channel(c).intervals());
+        res.channelSeries = sim::activeSeries(ch_traces, horizon,
+                                              run.utilizationBuckets);
+    }
+
+    // Energy accounting.
+    energy::EnergyInputs in;
+    in.tally = res.tally;
+    in.coreBusy = fw.coreBusyTime();
+    in.accelMacs = accel_macs;
+    in.accelSramBytes = accel_sram;
+    in.engineCommands = (platform.flags.sampling ==
+                         engines::SamplingLoc::Die)
+                            ? res.tally.flashReads
+                            : 0;
+    in.duration = res.totalTime;
+    res.energy = energy::account(energy::EnergyConstants{}, in);
+    res.avgPowerW = res.totalTime == 0
+                        ? 0.0
+                        : res.energy.total() / sim::toSeconds(res.totalTime);
+    return res;
+}
+
+} // namespace beacongnn::platforms

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Platform runner: executes a GNN training workload (a stream of
+ * mini-batches) on one platform configuration and collects every
+ * statistic the evaluation figures need — throughput, per-hop
+ * timelines, command lifetimes, flash utilization traces, byte
+ * tallies and the energy breakdown.
+ *
+ * Data preparation of mini-batch i is pipelined with the GNN
+ * computation of mini-batch i-1 (§VI-D): the prep stream is serial,
+ * compute jobs serialize on the accelerator, and the run ends when
+ * the last compute job drains.
+ */
+
+#ifndef BEACONGNN_PLATFORMS_RUNNER_H
+#define BEACONGNN_PLATFORMS_RUNNER_H
+
+#include <memory>
+#include <string>
+
+#include "accel/accelerator.h"
+#include "energy/energy.h"
+#include "graph/dataset.h"
+#include "platforms/platform.h"
+
+namespace beacongnn::platforms {
+
+/**
+ * A workload instantiated and laid out on flash, shared across runs.
+ *
+ * The `source` member references `layout` and `graph`, so the bundle
+ * must not be moved or copied after construction — makeBundle()
+ * returns it on the heap for that reason.
+ */
+struct WorkloadBundle
+{
+    std::string name;
+    graph::Graph graph;
+    graph::FeatureTable features{0};
+    dg::DirectGraphLayout layout;
+    std::unique_ptr<dg::LayoutSource> source;
+    gnn::ModelConfig model;
+
+    WorkloadBundle() = default;
+    WorkloadBundle(const WorkloadBundle &) = delete;
+    WorkloadBundle &operator=(const WorkloadBundle &) = delete;
+    WorkloadBundle(WorkloadBundle &&) = delete;
+    WorkloadBundle &operator=(WorkloadBundle &&) = delete;
+};
+
+/**
+ * Build a workload bundle: synthesize the graph, reserve blocks and
+ * compute the DirectGraph layout for the given flash geometry.
+ *
+ * @param spec       Workload spec (Table III).
+ * @param flash_cfg  Flash geometry (page size matters for layout).
+ * @param model      GNN task config (feature dim is overridden from
+ *                   the spec).
+ * @param node_override If nonzero, overrides spec.simNodes.
+ */
+std::unique_ptr<WorkloadBundle> makeBundle(
+    const graph::WorkloadSpec &spec, const flash::FlashConfig &flash_cfg,
+    gnn::ModelConfig model, graph::NodeId node_override = 0);
+
+/** Run parameters. */
+struct RunConfig
+{
+    ssd::SystemConfig system{};
+    std::uint32_t batchSize = 64;
+    std::uint32_t batches = 4;
+    std::uint64_t targetSeed = 0xF00D;
+    bool traceUtilization = false;
+    std::size_t utilizationBuckets = 48;
+};
+
+/** Everything measured in one run. */
+struct RunResult
+{
+    std::string platform;
+    std::string workload;
+    bool ok = true;
+
+    std::uint64_t targets = 0;
+    sim::Tick prepTime = 0;     ///< Last prep finish.
+    sim::Tick totalTime = 0;    ///< Last compute drain.
+    double throughput = 0;      ///< Targets per second.
+
+    engines::CmdStats cmdStats; ///< Merged over batches (Fig. 17).
+    engines::PrepTally tally;   ///< Summed over batches.
+    std::vector<engines::HopSpan> hops; ///< Last batch (Fig. 16).
+    sim::Tick lastBatchStart = 0;
+
+    // Resource busy shares over the whole run (Fig. 15f inputs).
+    double dieUtil = 0;
+    double channelUtil = 0;
+    double coreUtil = 0;
+    double dramUtil = 0;
+    double pcieUtil = 0;
+    sim::Tick accelBusy = 0;
+    sim::Tick hostBusy = 0;
+
+    // Active-unit series over time (Fig. 15a-e; empty unless traced).
+    std::vector<double> dieSeries;
+    std::vector<double> channelSeries;
+
+    energy::EnergyBreakdown energy;
+    double avgPowerW = 0;
+
+    gnn::Subgraph lastSubgraph; ///< For functional validation.
+};
+
+/** Execute @p batches mini-batches of @p batchSize targets. */
+RunResult runPlatform(const PlatformConfig &platform,
+                      const RunConfig &run, const WorkloadBundle &bundle);
+
+} // namespace beacongnn::platforms
+
+#endif // BEACONGNN_PLATFORMS_RUNNER_H

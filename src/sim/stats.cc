@@ -1,0 +1,30 @@
+#include "sim/stats.h"
+
+namespace beacongnn::sim {
+
+std::vector<double>
+activeSeries(const std::vector<const IntervalTrace *> &traces, Tick horizon,
+             std::size_t buckets)
+{
+    std::vector<double> out(buckets, 0.0);
+    if (horizon == 0 || buckets == 0)
+        return out;
+    Tick width = std::max<Tick>(1, horizon / buckets);
+    for (std::size_t b = 0; b < buckets; ++b) {
+        Tick t0 = b * width;
+        Tick t1 = t0 + width;
+        double active = 0;
+        for (const auto *tr : traces) {
+            if (tr) {
+                // Fractional occupancy: a unit busy for half the
+                // bucket counts as 0.5 active units.
+                active += static_cast<double>(tr->busyWithin(t0, t1)) /
+                          static_cast<double>(width);
+            }
+        }
+        out[b] = active;
+    }
+    return out;
+}
+
+} // namespace beacongnn::sim

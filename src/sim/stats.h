@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Statistics primitives: scalar accumulators, histograms, and busy-
+ * interval traces used to regenerate the paper's utilization figures.
+ */
+
+#ifndef BEACONGNN_SIM_STATS_H
+#define BEACONGNN_SIM_STATS_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace beacongnn::sim {
+
+/** Streaming accumulator: count / sum / min / max / mean. */
+class Accumulator
+{
+  public:
+    void
+    add(double v)
+    {
+        ++_count;
+        _sum += v;
+        _min = std::min(_min, v);
+        _max = std::max(_max, v);
+    }
+
+    std::uint64_t count() const { return _count; }
+    double sum() const { return _sum; }
+    double min() const { return _count ? _min : 0.0; }
+    double max() const { return _count ? _max : 0.0; }
+    double mean() const { return _count ? _sum / _count : 0.0; }
+
+    void
+    clear()
+    {
+        _count = 0;
+        _sum = 0;
+        _min = std::numeric_limits<double>::infinity();
+        _max = -std::numeric_limits<double>::infinity();
+    }
+
+    /** Exact merge of two accumulators. */
+    friend Accumulator
+    merged(const Accumulator &a, const Accumulator &b)
+    {
+        Accumulator m;
+        m._count = a._count + b._count;
+        m._sum = a._sum + b._sum;
+        m._min = std::min(a._min, b._min);
+        m._max = std::max(a._max, b._max);
+        return m;
+    }
+
+  private:
+    std::uint64_t _count = 0;
+    double _sum = 0;
+    double _min = std::numeric_limits<double>::infinity();
+    double _max = -std::numeric_limits<double>::infinity();
+};
+
+/** Fixed-width linear histogram for latency distributions. */
+class Histogram
+{
+  public:
+    /**
+     * @param bucket_width Width of each bucket (same unit as samples).
+     * @param buckets      Number of buckets; overflow goes to the last.
+     */
+    explicit Histogram(double bucket_width = 1000.0,
+                       std::size_t buckets = 64)
+        : width(bucket_width), counts(buckets, 0)
+    {
+    }
+
+    void
+    add(double v)
+    {
+        acc.add(v);
+        auto idx = static_cast<std::size_t>(std::max(0.0, v) / width);
+        if (idx >= counts.size())
+            idx = counts.size() - 1;
+        ++counts[idx];
+    }
+
+    const std::vector<std::uint64_t> &buckets() const { return counts; }
+    double bucketWidth() const { return width; }
+    const Accumulator &summary() const { return acc; }
+
+    /** Merge another histogram with identical geometry. */
+    void
+    merge(const Histogram &other)
+    {
+        if (other.counts.size() != counts.size() ||
+            other.width != width) {
+            return; // Geometry mismatch: ignore (callers use fixed).
+        }
+        for (std::size_t i = 0; i < counts.size(); ++i)
+            counts[i] += other.counts[i];
+        acc = merged(acc, other.acc);
+    }
+
+    /** Approximate quantile (linear within bucket). */
+    double
+    quantile(double q) const
+    {
+        if (acc.count() == 0)
+            return 0.0;
+        double target = q * static_cast<double>(acc.count());
+        double seen = 0;
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            seen += static_cast<double>(counts[i]);
+            if (seen >= target)
+                return (static_cast<double>(i) + 0.5) * width;
+        }
+        return static_cast<double>(counts.size()) * width;
+    }
+
+  private:
+    double width;
+    std::vector<std::uint64_t> counts;
+    Accumulator acc;
+};
+
+/**
+ * Record of busy intervals on one unit (die, channel). Post-processed
+ * into "active units over time" series for Fig. 15.
+ */
+class IntervalTrace
+{
+  public:
+    void
+    add(Tick start, Tick end)
+    {
+        // Merge with the previous interval when contiguous to bound
+        // memory under saturation.
+        if (!spans.empty() && start <= spans.back().second) {
+            spans.back().second = std::max(spans.back().second, end);
+        } else {
+            spans.emplace_back(start, end);
+        }
+    }
+
+    const std::vector<std::pair<Tick, Tick>> &get() const { return spans; }
+
+    /** Total busy time covered by the (disjoint) spans. */
+    Tick
+    busy() const
+    {
+        Tick b = 0;
+        for (auto &[s, e] : spans)
+            b += e - s;
+        return b;
+    }
+
+    /** Busy time overlapping [t0, t1). */
+    Tick
+    busyWithin(Tick t0, Tick t1) const
+    {
+        Tick b = 0;
+        for (auto &[s, e] : spans) {
+            if (e <= t0)
+                continue;
+            if (s >= t1)
+                break;
+            b += std::min(e, t1) - std::max(s, t0);
+        }
+        return b;
+    }
+
+    void clear() { spans.clear(); }
+    bool empty() const { return spans.empty(); }
+
+  private:
+    std::vector<std::pair<Tick, Tick>> spans;
+};
+
+/**
+ * Build an "active unit count over time" series (Fig. 15a-e): for each
+ * time bucket, how many of the traced units were busy for more than
+ * half of the bucket.
+ *
+ * @param traces  One IntervalTrace per unit.
+ * @param horizon End of the observation window.
+ * @param buckets Number of output samples.
+ */
+std::vector<double> activeSeries(
+    const std::vector<const IntervalTrace *> &traces, Tick horizon,
+    std::size_t buckets);
+
+} // namespace beacongnn::sim
+
+#endif // BEACONGNN_SIM_STATS_H

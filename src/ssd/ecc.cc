@@ -1,0 +1,76 @@
+#include "ssd/ecc.h"
+
+#include <array>
+
+namespace beacongnn::ssd {
+
+namespace {
+
+std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? (0x82f63b78u ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t
+crc32c(std::span<const std::uint8_t> data)
+{
+    static const auto table = makeCrcTable();
+    std::uint32_t crc = 0xffffffffu;
+    for (std::uint8_t b : data)
+        crc = table[(crc ^ b) & 0xff] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+ScrubReport
+scrubBlocks(flash::PageStore &store, EccModel &ecc,
+            std::span<const flash::BlockId> blocks,
+            unsigned pages_per_block,
+            const std::function<void(flash::Ppa, std::span<std::uint8_t>)>
+                &regenerate)
+{
+    ScrubReport report;
+    std::vector<std::uint8_t> buf(store.pageBytes());
+    for (flash::BlockId block : blocks) {
+        flash::Ppa first = block * pages_per_block;
+        bool bad = false;
+        // Which pages of the block were programmed (to restore them).
+        std::vector<flash::Ppa> programmed;
+        for (unsigned p = 0; p < pages_per_block; ++p) {
+            flash::Ppa ppa = first + p;
+            auto data = store.read(ppa);
+            if (data.empty())
+                continue;
+            programmed.push_back(ppa);
+            ++report.pagesChecked;
+            if (!ecc.check(ppa, data)) {
+                ++report.errorsFound;
+                bad = true;
+            }
+        }
+        if (!bad)
+            continue;
+        // Pages in a block share retention characteristics: erase and
+        // re-program the entire block with corrected content.
+        store.eraseBlock(block);
+        ecc.onErase(block, pages_per_block);
+        for (flash::Ppa ppa : programmed) {
+            regenerate(ppa, buf);
+            store.program(ppa, buf);
+            ecc.onProgram(ppa, buf);
+        }
+        ++report.blocksReprogrammed;
+    }
+    return report;
+}
+
+} // namespace beacongnn::ssd

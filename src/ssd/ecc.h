@@ -1,0 +1,96 @@
+/**
+ * @file
+ * ECC model and DirectGraph data scrubbing (§VI-F).
+ *
+ * The controller's ECC engine is modelled as a per-page checksum kept
+ * in the page's out-of-band spare area at program time. A scrub pass
+ * re-reads every page of the DirectGraph blocks, verifies checksums
+ * and — because pages of one block share retention characteristics —
+ * erases and re-programs the whole block with corrected content on
+ * the first error found in it.
+ */
+
+#ifndef BEACONGNN_SSD_ECC_H
+#define BEACONGNN_SSD_ECC_H
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "flash/page_store.h"
+
+namespace beacongnn::ssd {
+
+/** CRC32 (Castagnoli polynomial, bitwise) over a byte span. */
+std::uint32_t crc32c(std::span<const std::uint8_t> data);
+
+/** Per-page checksum registry (the OOB spare area). */
+class EccModel
+{
+  public:
+    /** Record the checksum of @p data programmed at @p ppa. */
+    void
+    onProgram(flash::Ppa ppa, std::span<const std::uint8_t> data)
+    {
+        oob[ppa] = crc32c(data);
+    }
+
+    /** Drop checksums of an erased block. */
+    void
+    onErase(flash::BlockId block, unsigned pages_per_block)
+    {
+        flash::Ppa first = block * pages_per_block;
+        for (unsigned p = 0; p < pages_per_block; ++p)
+            oob.erase(first + p);
+    }
+
+    /**
+     * Verify @p data against the recorded checksum of @p ppa.
+     * @return true if the page decodes clean (or was never recorded —
+     *         erased pages carry no ECC).
+     */
+    bool
+    check(flash::Ppa ppa, std::span<const std::uint8_t> data) const
+    {
+        auto it = oob.find(ppa);
+        if (it == oob.end())
+            return true;
+        return it->second == crc32c(data);
+    }
+
+  private:
+    std::unordered_map<flash::Ppa, std::uint32_t> oob;
+};
+
+/** Outcome of one scrubbing pass. */
+struct ScrubReport
+{
+    std::uint64_t pagesChecked = 0;
+    std::uint64_t errorsFound = 0;
+    std::uint64_t blocksReprogrammed = 0;
+};
+
+/**
+ * Scrub the given DirectGraph blocks: verify every programmed page;
+ * on the first error in a block, erase it and re-program every page
+ * from golden content supplied by @p regenerate (which re-encodes the
+ * page image from the layout — the "corrected content" of §VI-F).
+ *
+ * @param store      Flash contents (modified in place on repair).
+ * @param ecc        Checksum registry.
+ * @param blocks     Blocks to scrub.
+ * @param pages_per_block Geometry.
+ * @param regenerate Callback (ppa, out_buffer) producing the correct
+ *                   page image; buffer is page-sized.
+ */
+ScrubReport scrubBlocks(
+    flash::PageStore &store, EccModel &ecc,
+    std::span<const flash::BlockId> blocks, unsigned pages_per_block,
+    const std::function<void(flash::Ppa, std::span<std::uint8_t>)>
+        &regenerate);
+
+} // namespace beacongnn::ssd
+
+#endif // BEACONGNN_SSD_ECC_H

@@ -1,0 +1,131 @@
+#include "ssd/ftl.h"
+
+namespace beacongnn::ssd {
+
+Ftl::Ftl(const flash::FlashConfig &cfg)
+    : codec(cfg), nBlocks(cfg.totalBlocks()),
+      pagesPerBlock(cfg.pagesPerBlock)
+{
+}
+
+bool
+Ftl::advanceCursor()
+{
+    // Linear scan for the next block not reserved for DirectGraph.
+    for (std::uint64_t tried = 0; tried < nBlocks; ++tried) {
+        flash::BlockId cand = allocCursor;
+        allocCursor = static_cast<flash::BlockId>((allocCursor + 1) %
+                                                  nBlocks);
+        if (!isReserved(cand)) {
+            writeCursor = codec.firstPage(cand);
+            regularUsed.insert(cand);
+            cursorValid = true;
+            return true;
+        }
+    }
+    cursorValid = false;
+    return false;
+}
+
+std::optional<flash::Ppa>
+Ftl::translate(Lpa lpa, bool write)
+{
+    auto it = map.find(lpa);
+    if (it != map.end())
+        return it->second;
+    if (!write)
+        return std::nullopt;
+    if (!cursorValid || codec.pageInBlock(writeCursor) == 0) {
+        // Need (or about to need) a fresh block.
+        if (!cursorValid && !advanceCursor())
+            return std::nullopt;
+    }
+    flash::Ppa ppa = writeCursor;
+    map[lpa] = ppa;
+    ++valid[codec.blockOf(ppa)];
+    // Move to the next page; roll into a new block at the boundary.
+    if (codec.pageInBlock(writeCursor) + 1 == pagesPerBlock) {
+        cursorValid = false;
+    } else {
+        ++writeCursor;
+    }
+    return ppa;
+}
+
+std::optional<std::pair<flash::Ppa, flash::Ppa>>
+Ftl::update(Lpa lpa)
+{
+    auto it = map.find(lpa);
+    if (it == map.end())
+        return std::nullopt;
+    flash::Ppa old = it->second;
+    map.erase(it);
+    auto fresh = translate(lpa, true);
+    if (!fresh) {
+        map[lpa] = old; // Roll back: device full.
+        return std::nullopt;
+    }
+    flash::BlockId ob = codec.blockOf(old);
+    ++invalid[ob];
+    if (auto vit = valid.find(ob); vit != valid.end() && vit->second > 0)
+        --vit->second;
+    return std::make_pair(*fresh, old);
+}
+
+std::vector<flash::BlockId>
+Ftl::fullyInvalidBlocks() const
+{
+    std::vector<flash::BlockId> out;
+    for (const auto &[block, count] : invalid) {
+        if (count > 0 && validPages(block) == 0)
+            out.push_back(block);
+    }
+    return out;
+}
+
+std::vector<flash::BlockId>
+Ftl::reserveBlocks(std::uint64_t count)
+{
+    std::vector<flash::BlockId> out;
+    out.reserve(count);
+    // Scan the device for blocks not reserved and not holding regular
+    // data; real firmware would pick erased blocks from its free pool.
+    for (flash::BlockId b = 0; b < nBlocks && out.size() < count; ++b) {
+        if (isReserved(b) || regularUsed.count(b))
+            continue;
+        out.push_back(b);
+    }
+    if (out.size() < count)
+        return {};
+    for (auto b : out)
+        reserved.insert(b);
+    return out;
+}
+
+void
+Ftl::releaseBlocks(const std::vector<flash::BlockId> &blocks)
+{
+    for (auto b : blocks)
+        reserved.erase(b);
+}
+
+double
+Ftl::peGap(const flash::PageStore &store) const
+{
+    if (reserved.empty())
+        return 0.0;
+    double reserved_sum = 0;
+    for (auto b : reserved)
+        reserved_sum += static_cast<double>(store.peCycles(b));
+    double reserved_avg = reserved_sum / static_cast<double>(
+                                             reserved.size());
+    double regular_sum = 0;
+    std::size_t regular_n = regularUsed.size();
+    for (auto b : regularUsed)
+        regular_sum += static_cast<double>(store.peCycles(b));
+    double regular_avg =
+        regular_n == 0 ? 0.0 : regular_sum / static_cast<double>(regular_n);
+    return regular_avg - reserved_avg;
+}
+
+} // namespace beacongnn::ssd

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Flash translation layer (§II-B, §VI-A, §VI-F).
+ *
+ * Beyond the regular page-mapped LPA->PPA translation, the FTL
+ * implements the BeaconGNN extensions:
+ *  - a reserved-block list handed to the host for direct DirectGraph
+ *    manipulation, exempt from regular allocation and GC;
+ *  - isolation: reserved blocks are invisible to regular I/O, and
+ *    regular blocks can never be written through the DirectGraph
+ *    path;
+ *  - wear-levelling reclamation: when the P/E-count gap between
+ *    DirectGraph blocks and regular blocks exceeds a threshold, the
+ *    DirectGraph migrates to fresh blocks (embedded addresses are
+ *    rewritten by rebuilding the layout) and the old blocks rejoin
+ *    regular management.
+ */
+
+#ifndef BEACONGNN_SSD_FTL_H
+#define BEACONGNN_SSD_FTL_H
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "flash/address.h"
+#include "flash/config.h"
+#include "flash/page_store.h"
+
+namespace beacongnn::ssd {
+
+/** Logical page address of the regular block-device interface. */
+using Lpa = std::uint64_t;
+
+/** Page-mapped FTL with reserved-block support. */
+class Ftl
+{
+  public:
+    explicit Ftl(const flash::FlashConfig &cfg);
+
+    /** Total blocks managed. */
+    std::uint64_t totalBlocks() const { return nBlocks; }
+
+    // ---- Regular I/O path ----------------------------------------
+
+    /**
+     * Translate a host LPA; allocates on first write.
+     * @param write True for write accesses (allocate if unmapped).
+     * @return Mapped PPA, or nullopt for reads of unmapped LPAs or
+     *         when the device is out of regular blocks.
+     */
+    std::optional<flash::Ppa> translate(Lpa lpa, bool write);
+
+    /**
+     * Out-of-place update of a mapped LPA: allocate a fresh page,
+     * move the mapping there and invalidate the old page (flash
+     * pages cannot be overwritten in place, §II-B1).
+     *
+     * @return {new ppa, old ppa}; nullopt when out of blocks or the
+     *         LPA was never written (use translate(lpa, true) then).
+     */
+    std::optional<std::pair<flash::Ppa, flash::Ppa>> update(Lpa lpa);
+
+    /** Invalid (superseded) pages in @p block. */
+    std::uint32_t
+    invalidPages(flash::BlockId block) const
+    {
+        auto it = invalid.find(block);
+        return it == invalid.end()
+                   ? 0
+                   : static_cast<std::uint32_t>(it->second);
+    }
+
+    /** Valid (currently mapped) pages in @p block. */
+    std::uint32_t
+    validPages(flash::BlockId block) const
+    {
+        auto it = valid.find(block);
+        return it == valid.end()
+                   ? 0
+                   : static_cast<std::uint32_t>(it->second);
+    }
+
+    /**
+     * Blocks whose programmed pages are all invalid — garbage-
+     * collection victims that can be erased without relocation.
+     */
+    std::vector<flash::BlockId> fullyInvalidBlocks() const;
+
+    /** Reset a block's valid/invalid accounting after its erase. */
+    void
+    onBlockErased(flash::BlockId block)
+    {
+        invalid.erase(block);
+        valid.erase(block);
+    }
+
+    /** True if @p lpa currently has a mapping. */
+    bool isMapped(Lpa lpa) const { return map.count(lpa) != 0; }
+
+    // ---- DirectGraph reserved blocks (§VI-A) ----------------------
+
+    /**
+     * Reserve @p count physical blocks for host DirectGraph
+     * manipulation. Reserved blocks are marked unusable for regular
+     * allocation/GC.
+     * @return The block list, or empty if not enough free blocks.
+     */
+    std::vector<flash::BlockId> reserveBlocks(std::uint64_t count);
+
+    /** Return previously reserved blocks to regular management. */
+    void releaseBlocks(const std::vector<flash::BlockId> &blocks);
+
+    /** True if @p block is reserved for DirectGraph. */
+    bool
+    isReserved(flash::BlockId block) const
+    {
+        return reserved.count(block) != 0;
+    }
+
+    /** True if @p ppa lies in a reserved block. */
+    bool
+    ppaReserved(flash::Ppa ppa) const
+    {
+        return isReserved(codec.blockOf(ppa));
+    }
+
+    /** Blocks currently reserved. */
+    std::size_t reservedCount() const { return reserved.size(); }
+
+    // ---- Wear levelling (§VI-F) ------------------------------------
+
+    /**
+     * Compute the P/E gap between the average regular-block erase
+     * count and the average reserved-block erase count.
+     */
+    double peGap(const flash::PageStore &store) const;
+
+    /**
+     * @param threshold Gap (in P/E cycles) that triggers reclamation.
+     * @return true if reclamation should run now.
+     */
+    bool
+    needsReclaim(const flash::PageStore &store, double threshold) const
+    {
+        return !reserved.empty() && peGap(store) > threshold;
+    }
+
+    const flash::AddressCodec &addressCodec() const { return codec; }
+
+  private:
+    flash::AddressCodec codec;
+    std::uint64_t nBlocks;
+    unsigned pagesPerBlock;
+
+    std::unordered_map<Lpa, flash::Ppa> map;
+    std::unordered_map<flash::BlockId, std::uint64_t> invalid;
+    std::unordered_map<flash::BlockId, std::uint64_t> valid;
+    std::unordered_set<flash::BlockId> reserved;
+    /** Blocks ever touched by regular writes (for wear stats). */
+    std::unordered_set<flash::BlockId> regularUsed;
+
+    flash::BlockId allocCursor = 0;  ///< Next candidate block.
+    flash::Ppa writeCursor = 0;      ///< Next page in current block.
+    bool cursorValid = false;
+
+    /** Advance to the next non-reserved block; false if exhausted. */
+    bool advanceCursor();
+};
+
+} // namespace beacongnn::ssd
+
+#endif // BEACONGNN_SSD_FTL_H

@@ -1,0 +1,102 @@
+#include "ssd/io_path.h"
+
+namespace beacongnn::ssd {
+
+IoResult
+IoPath::hostWrite(sim::Tick now, Lpa lpa,
+                  std::span<const std::uint8_t> data)
+{
+    IoResult res;
+    sim::Tick start = gate(now, res.deferredBy);
+
+    // Resolve the destination page: fresh allocation or out-of-place
+    // update of a previously written LPA.
+    std::optional<flash::Ppa> ppa;
+    if (fw.ftl().isMapped(lpa)) {
+        auto moved = fw.ftl().update(lpa);
+        if (moved)
+            ppa = moved->first;
+    } else {
+        ppa = fw.ftl().translate(lpa, true);
+    }
+    if (!ppa)
+        return res; // Device full.
+
+    const auto &flash_cfg = fw.config().flash;
+    // Device-side service: PCIe data-in, FTL on a core, DMA to DRAM,
+    // backend program.
+    sim::Grant link = fw.pcie().acquire(start, flash_cfg.pageSize);
+    sim::Grant core = fw.coreIssue(
+        link.end, fw.config().controller.ftlLookupTime);
+    sim::Grant mem = fw.dram().acquire(core.end, flash_cfg.pageSize);
+    flash::FlashOpTiming prog =
+        backend.program(mem.end, *ppa, flash_cfg.pageSize);
+    sim::Tick device = prog.senseEnd - start;
+
+    NvmeCommand cmd;
+    cmd.op = NvmeOp::Write;
+    cmd.lba = lpa;
+    cmd.bytes = flash_cfg.pageSize;
+    res.nvme = queue.submit(start, cmd, device);
+
+    // Functional: land the bytes.
+    res.ok = store.program(*ppa, data);
+    if (res.ok)
+        fw.ecc().onProgram(*ppa, store.read(*ppa));
+    return res;
+}
+
+IoResult
+IoPath::hostRead(sim::Tick now, Lpa lpa, std::span<std::uint8_t> out)
+{
+    IoResult res;
+    sim::Tick start = gate(now, res.deferredBy);
+
+    auto ppa = fw.ftl().translate(lpa, false);
+    if (!ppa)
+        return res; // Unmapped.
+
+    const auto &flash_cfg = fw.config().flash;
+    sim::Grant core = fw.coreIssue(
+        start, fw.config().controller.ftlLookupTime);
+    flash::FlashOpTiming t =
+        backend.read(core.end, *ppa, flash_cfg.pageSize);
+    sim::Grant mem = fw.dram().acquire(t.xferEnd, flash_cfg.pageSize);
+    sim::Grant done = fw.coreComplete(mem.end);
+    sim::Grant link = fw.pcie().acquire(done.end, flash_cfg.pageSize);
+    sim::Tick device = link.end - start;
+
+    NvmeCommand cmd;
+    cmd.op = NvmeOp::Read;
+    cmd.lba = lpa;
+    cmd.bytes = flash_cfg.pageSize;
+    res.nvme = queue.submit(start, cmd, device);
+
+    // Functional: copy the bytes out (with ECC verification).
+    auto page = store.read(*ppa);
+    if (page.empty())
+        return res;
+    if (!fw.ecc().check(*ppa, page))
+        return res; // Uncorrectable error surfaced to the host.
+    std::size_t n = std::min(out.size(), page.size());
+    std::copy(page.begin(), page.begin() + static_cast<std::ptrdiff_t>(n),
+              out.begin());
+    res.ok = true;
+    return res;
+}
+
+std::uint64_t
+IoPath::garbageCollect(sim::Tick now)
+{
+    std::uint64_t erased = 0;
+    for (flash::BlockId b : fw.ftl().fullyInvalidBlocks()) {
+        backend.erase(now, b);
+        store.eraseBlock(b);
+        fw.ecc().onErase(b, fw.config().flash.pagesPerBlock);
+        fw.ftl().onBlockErased(b);
+        ++erased;
+    }
+    return erased;
+}
+
+} // namespace beacongnn::ssd

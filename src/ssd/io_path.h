@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Regular block-I/O path and the two operating modes of §VI-G.
+ *
+ * In regular-I/O mode the device serves standard NVMe READ/WRITE
+ * through the FTL (out-of-place updates, page-mapped). In
+ * acceleration mode, incoming regular requests are deferred to the
+ * end of the current mini-batch — BeaconGNN's page table stays in
+ * SSD DRAM, so service resumes immediately afterwards.
+ *
+ * The path is functional (bytes round-trip through the page store)
+ * and timed (NVMe queue pair + firmware cores + flash backend +
+ * PCIe), and it coexists with DirectGraph: reserved blocks are
+ * invisible to it, which the isolation tests exercise.
+ */
+
+#ifndef BEACONGNN_SSD_IO_PATH_H
+#define BEACONGNN_SSD_IO_PATH_H
+
+#include <span>
+
+#include "flash/backend.h"
+#include "flash/page_store.h"
+#include "ssd/firmware.h"
+#include "ssd/nvme.h"
+
+namespace beacongnn::ssd {
+
+/** Outcome of one host block I/O. */
+struct IoResult
+{
+    bool ok = false;
+    NvmeCompletion nvme;      ///< Queue-pair timing decomposition.
+    sim::Tick deferredBy = 0; ///< Wait caused by acceleration mode.
+};
+
+/** The regular storage path of the BeaconGNN SSD. */
+class IoPath
+{
+  public:
+    IoPath(Firmware &fw, flash::FlashBackend &backend,
+           flash::PageStore &store, const NvmeQueueConfig &qcfg = {})
+        : fw(fw), backend(backend), store(store), queue(qcfg)
+    {
+    }
+
+    // ---- Operating modes (§VI-G) -----------------------------------
+
+    /**
+     * Enter acceleration mode until @p until (the end of the current
+     * mini-batch). Regular requests arriving before then are deferred.
+     */
+    void
+    enterAccelerationMode(sim::Tick until)
+    {
+        accelUntil = std::max(accelUntil, until);
+    }
+
+    /** True if a request at @p now would be deferred. */
+    bool
+    inAccelerationMode(sim::Tick now) const
+    {
+        return now < accelUntil;
+    }
+
+    /** Regular requests deferred so far. */
+    std::uint64_t deferredCount() const { return _deferred; }
+
+    // ---- Host block operations ---------------------------------------
+
+    /**
+     * Host write of one logical page (out-of-place update).
+     * @return Timing + success. Fails when the device is out of
+     *         non-reserved blocks.
+     */
+    IoResult hostWrite(sim::Tick now, Lpa lpa,
+                       std::span<const std::uint8_t> data);
+
+    /**
+     * Host read of one logical page into @p out.
+     * @return ok = false for unmapped LPAs.
+     */
+    IoResult hostRead(sim::Tick now, Lpa lpa,
+                      std::span<std::uint8_t> out);
+
+    const NvmeQueuePair &nvme() const { return queue; }
+
+    /**
+     * Erase fully-invalidated blocks (simple garbage collection).
+     * @return Number of blocks erased.
+     */
+    std::uint64_t garbageCollect(sim::Tick now);
+
+  private:
+    /** Defer service start while in acceleration mode. */
+    sim::Tick
+    gate(sim::Tick now, sim::Tick &deferred_by)
+    {
+        if (now < accelUntil) {
+            deferred_by = accelUntil - now;
+            ++_deferred;
+            return accelUntil;
+        }
+        deferred_by = 0;
+        return now;
+    }
+
+    Firmware &fw;
+    flash::FlashBackend &backend;
+    flash::PageStore &store;
+    NvmeQueuePair queue;
+    sim::Tick accelUntil = 0;
+    std::uint64_t _deferred = 0;
+};
+
+} // namespace beacongnn::ssd
+
+#endif // BEACONGNN_SSD_IO_PATH_H

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * DirectGraph tests: address packing, section codec round trips, the
+ * Algorithm-1 builder's invariants, byte/layout source equivalence,
+ * and the §VI-E security verifier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "directgraph/builder.h"
+#include "directgraph/source.h"
+#include "directgraph/verify.h"
+#include "graph/generator.h"
+#include "ssd/ftl.h"
+
+namespace {
+
+using namespace beacongnn;
+using namespace beacongnn::dg;
+
+flash::FlashConfig
+smallFlash()
+{
+    flash::FlashConfig cfg;
+    cfg.channels = 4;
+    cfg.diesPerChannel = 2;
+    cfg.planesPerDie = 2;
+    cfg.blocksPerPlane = 64;
+    cfg.pagesPerBlock = 32;
+    cfg.pageSize = 4096;
+    return cfg;
+}
+
+std::vector<flash::BlockId>
+reserve(const flash::FlashConfig &cfg, std::uint64_t n)
+{
+    ssd::Ftl ftl(cfg);
+    return ftl.reserveBlocks(n);
+}
+
+TEST(DgAddress, PackUnpack)
+{
+    DgAddress a(0x0ABCDEF, 9);
+    EXPECT_EQ(a.page(), 0x0ABCDEFu);
+    EXPECT_EQ(a.section(), 9u);
+    EXPECT_EQ(a.raw, (0x0ABCDEFu << 4) | 9u);
+    DgAddress b(a.raw);
+    EXPECT_EQ(a, b);
+    // 28-bit page index (1 TB / 4 KB).
+    DgAddress top((1u << 28) - 1, 15);
+    EXPECT_EQ(top.page(), (1u << 28) - 1);
+    EXPECT_EQ(top.section(), 15u);
+}
+
+TEST(Codec, SectionSizeFormulas)
+{
+    EXPECT_EQ(primarySectionBytes(0, 0, 0), kHeaderBytes);
+    EXPECT_EQ(primarySectionBytes(2, 100, 5),
+              kHeaderBytes + 16 + 100 + 20);
+    EXPECT_EQ(secondarySectionBytes(10), kHeaderBytes + 40);
+    EXPECT_EQ(alignSection(1), kSectionAlign);
+    EXPECT_EQ(alignSection(64), 64u);
+    EXPECT_EQ(alignSection(65), 128u);
+}
+
+TEST(Codec, PrimaryRoundTrip)
+{
+    std::vector<std::uint8_t> page(4096, 0);
+    std::vector<SecondaryRef> secs = {{DgAddress(100, 1), 50},
+                                      {DgAddress(200, 2), 30}};
+    std::vector<std::uint8_t> feat(64);
+    for (std::size_t i = 0; i < feat.size(); ++i)
+        feat[i] = static_cast<std::uint8_t>(i * 3);
+    std::vector<DgAddress> in_page = {DgAddress(7, 0), DgAddress(8, 3),
+                                      DgAddress(9, 15)};
+    std::uint32_t written =
+        encodePrimary(page, 424242, 83, secs, feat, in_page);
+    EXPECT_EQ(written, primarySectionBytes(2, 64, 3));
+
+    auto dec = decodeSection(page, 0, 32); // 32 FP16 elems = 64 B.
+    ASSERT_TRUE(dec.has_value());
+    EXPECT_EQ(dec->type, SectionType::Primary);
+    EXPECT_EQ(dec->node, 424242u);
+    EXPECT_EQ(dec->totalNeighbors, 83u);
+    EXPECT_TRUE(dec->hasFeature);
+    ASSERT_EQ(dec->secondaries.size(), 2u);
+    EXPECT_EQ(dec->secondaries[0].addr, DgAddress(100, 1));
+    EXPECT_EQ(dec->secondaries[0].count, 50u);
+    EXPECT_EQ(dec->secondaries[1].count, 30u);
+    EXPECT_EQ(dec->inPage, 3u);
+    ASSERT_EQ(dec->neighborAddrs.size(), 3u);
+    EXPECT_EQ(dec->neighborAddrs[2], DgAddress(9, 15));
+}
+
+TEST(Codec, SecondaryRoundTrip)
+{
+    std::vector<std::uint8_t> page(4096, 0);
+    std::vector<DgAddress> nbrs;
+    for (std::uint32_t i = 0; i < 20; ++i)
+        nbrs.emplace_back(i * 17, i % 16);
+    std::uint32_t written = encodeSecondary(page, 777, nbrs);
+    EXPECT_EQ(written, secondarySectionBytes(20));
+    auto dec = decodeSection(page, 0, 128);
+    ASSERT_TRUE(dec.has_value());
+    EXPECT_EQ(dec->type, SectionType::Secondary);
+    EXPECT_EQ(dec->node, 777u);
+    EXPECT_EQ(dec->totalNeighbors, 20u);
+    ASSERT_EQ(dec->neighborAddrs.size(), 20u);
+    EXPECT_EQ(dec->neighborAddrs[19], DgAddress(19 * 17, 3));
+}
+
+TEST(Codec, MultipleSectionsPerPage)
+{
+    std::vector<std::uint8_t> page(4096, 0);
+    std::vector<DgAddress> n1 = {DgAddress(1, 0)};
+    std::vector<DgAddress> n2 = {DgAddress(2, 0), DgAddress(3, 0)};
+    encodeSecondary(std::span(page).subspan(0), 10, n1);
+    std::uint32_t off = alignSection(secondarySectionBytes(1));
+    encodeSecondary(std::span(page).subspan(off), 11, n2);
+
+    auto s0 = findSection(page, 0, 0);
+    auto s1 = findSection(page, 1, 0);
+    ASSERT_TRUE(s0 && s1);
+    EXPECT_EQ(s0->node, 10u);
+    EXPECT_EQ(s1->node, 11u);
+    EXPECT_EQ(s1->totalNeighbors, 2u);
+    EXPECT_FALSE(findSection(page, 2, 0).has_value());
+    EXPECT_EQ(decodePage(page, 0).size(), 2u);
+}
+
+TEST(Codec, RejectsGarbage)
+{
+    std::vector<std::uint8_t> page(4096, 0xEE); // Invalid type byte.
+    EXPECT_FALSE(decodeSection(page, 0, 10).has_value());
+    std::vector<std::uint8_t> erased(4096, 0);
+    EXPECT_FALSE(decodeSection(erased, 0, 10).has_value());
+    EXPECT_TRUE(decodePage(erased, 10).empty());
+}
+
+class BuilderTest : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(BuilderTest, InvariantsHoldForVariousPageSizes)
+{
+    flash::FlashConfig cfg = smallFlash();
+    cfg.pageSize = GetParam();
+    graph::GeneratorParams gp;
+    gp.nodes = 600;
+    gp.avgDegree = 40;
+    gp.maxDegree = 3000;
+    gp.seed = GetParam();
+    graph::Graph g = graph::generatePowerLaw(gp);
+    graph::FeatureTable feat(32, 5);
+
+    auto blocks = reserve(cfg, 400);
+    ASSERT_FALSE(blocks.empty());
+    DirectGraphLayout layout = buildLayout(g, feat, cfg, blocks);
+    EXPECT_EQ(checkLayoutInvariants(layout), "");
+    EXPECT_EQ(layout.nodes.size(), g.numNodes());
+    EXPECT_GT(layout.stats.primaryPages, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PageSizes, BuilderTest,
+                         ::testing::Values(2048u, 4096u, 8192u, 16384u));
+
+TEST(Builder, HighDegreeNodesSpill)
+{
+    flash::FlashConfig cfg = smallFlash();
+    // Node 0 has degree far exceeding one page.
+    std::vector<std::vector<graph::NodeId>> adj(50);
+    for (graph::NodeId i = 0; i < 4000; ++i)
+        adj[0].push_back(1 + (i % 49));
+    for (graph::NodeId v = 1; v < 50; ++v)
+        adj[v] = {0, static_cast<graph::NodeId>((v + 1) % 50)};
+    graph::Graph g(adj);
+    graph::FeatureTable feat(64, 1);
+    auto blocks = reserve(cfg, 64);
+    DirectGraphLayout layout = buildLayout(g, feat, cfg, blocks);
+    EXPECT_EQ(checkLayoutInvariants(layout), "");
+    const NodeLayout &nl = layout.nodes[0];
+    EXPECT_GT(nl.secondaries.size(), 0u);
+    std::uint32_t covered = nl.inPage;
+    for (const auto &s : nl.secondaries)
+        covered += s.count;
+    EXPECT_EQ(covered, 4000u);
+    EXPECT_GT(layout.stats.secondaryPages, 0u);
+    EXPECT_EQ(layout.stats.nodesWithSecondaries, 1u);
+}
+
+TEST(Builder, CompactionPacksSmallSections)
+{
+    flash::FlashConfig cfg = smallFlash();
+    // 64 low-degree nodes: sections must share pages.
+    graph::Graph g = graph::generateRing(64, 4);
+    graph::FeatureTable feat(16, 2);
+    auto blocks = reserve(cfg, 16);
+    DirectGraphLayout layout = buildLayout(g, feat, cfg, blocks);
+    EXPECT_EQ(checkLayoutInvariants(layout), "");
+    // Way fewer pages than nodes.
+    EXPECT_LT(layout.stats.primaryPages, 16u);
+    // And no page exceeds the 4-bit section cap.
+    for (const auto &[ppa, dir] : layout.pages)
+        EXPECT_LE(dir.sections.size(), kMaxSectionsPerPage);
+}
+
+TEST(Builder, MaterializeAndSourcesAgree)
+{
+    flash::FlashConfig cfg = smallFlash();
+    graph::GeneratorParams gp;
+    gp.nodes = 400;
+    gp.avgDegree = 60;
+    gp.maxDegree = 2500;
+    graph::Graph g = graph::generatePowerLaw(gp);
+    graph::FeatureTable feat(32, 5);
+    auto blocks = reserve(cfg, 300);
+    DirectGraphLayout layout = buildLayout(g, feat, cfg, blocks);
+    ASSERT_EQ(checkLayoutInvariants(layout), "");
+
+    flash::PageStore store(cfg);
+    materialize(layout, g, feat, store);
+    EXPECT_EQ(store.programmedPages(), layout.pages.size());
+
+    PageByteSource bytes(store, feat.dim());
+    LayoutSource meta(layout, g);
+
+    for (graph::NodeId v = 0; v < g.numNodes(); ++v) {
+        // Primary sections agree between byte and layout sources.
+        auto a = bytes.fetch(layout.nodes[v].primary);
+        auto b = meta.fetch(layout.nodes[v].primary);
+        ASSERT_TRUE(a && b) << "node " << v;
+        EXPECT_EQ(a->node, v);
+        EXPECT_EQ(a->node, b->node);
+        EXPECT_EQ(a->type, b->type);
+        EXPECT_EQ(a->totalNeighbors, b->totalNeighbors);
+        EXPECT_EQ(a->inPage, b->inPage);
+        ASSERT_EQ(a->secondaries.size(), b->secondaries.size());
+        for (std::size_t j = 0; j < a->secondaries.size(); ++j) {
+            EXPECT_EQ(a->secondaries[j].addr, b->secondaries[j].addr);
+            EXPECT_EQ(a->secondaries[j].count, b->secondaries[j].count);
+        }
+        ASSERT_EQ(a->neighborAddrs.size(), b->neighborAddrs.size());
+        for (std::size_t j = 0; j < a->neighborAddrs.size(); ++j)
+            EXPECT_EQ(a->neighborAddrs[j], b->neighborAddrs[j]);
+        // Secondary sections too.
+        for (const auto &r : layout.nodes[v].secondaries) {
+            auto sa = bytes.fetch(r.addr);
+            auto sb = meta.fetch(r.addr);
+            ASSERT_TRUE(sa && sb);
+            EXPECT_EQ(sa->node, v);
+            EXPECT_EQ(sa->totalNeighbors, sb->totalNeighbors);
+            ASSERT_EQ(sa->neighborAddrs.size(), sb->neighborAddrs.size());
+            for (std::size_t j = 0; j < sa->neighborAddrs.size(); ++j)
+                EXPECT_EQ(sa->neighborAddrs[j], sb->neighborAddrs[j]);
+        }
+    }
+}
+
+TEST(Builder, FeatureBytesSurviveRoundTrip)
+{
+    flash::FlashConfig cfg = smallFlash();
+    graph::Graph g = graph::generateRing(32, 3);
+    graph::FeatureTable feat(24, 9);
+    auto blocks = reserve(cfg, 8);
+    DirectGraphLayout layout = buildLayout(g, feat, cfg, blocks);
+    flash::PageStore store(cfg);
+    materialize(layout, g, feat, store);
+
+    // Check the raw feature bytes inside the page image.
+    for (graph::NodeId v = 0; v < g.numNodes(); ++v) {
+        DgAddress a = layout.nodes[v].primary;
+        auto page = store.read(a.page());
+        ASSERT_FALSE(page.empty());
+        auto sec = findSection(page, a.section(), feat.dim());
+        ASSERT_TRUE(sec.has_value());
+        const SectionPlacement *sp = layout.find(a);
+        ASSERT_NE(sp, nullptr);
+        std::uint32_t feat_off =
+            sp->byteOffset + kHeaderBytes +
+            static_cast<std::uint32_t>(sec->secondaries.size()) *
+                kSecondaryRefBytes;
+        for (std::uint16_t i = 0; i < feat.dim(); ++i) {
+            std::uint16_t expect = feat.raw(v, i);
+            std::uint16_t got = static_cast<std::uint16_t>(
+                page[feat_off + 2 * i] |
+                (page[feat_off + 2 * i + 1] << 8));
+            ASSERT_EQ(got, expect) << "node " << v << " elem " << i;
+        }
+    }
+}
+
+TEST(Builder, ExhaustedBlockListIsFatal)
+{
+    flash::FlashConfig cfg = smallFlash();
+    graph::Graph g = graph::generateRing(2000, 64);
+    graph::FeatureTable feat(128, 3);
+    std::vector<flash::BlockId> one_block = {0};
+    EXPECT_DEATH(
+        { buildLayout(g, feat, cfg, one_block); }, "exhausted");
+}
+
+TEST(Verifier, AcceptsOwnPagesRejectsForeign)
+{
+    flash::FlashConfig cfg = smallFlash();
+    graph::Graph g = graph::generateRing(64, 6);
+    graph::FeatureTable feat(16, 2);
+    auto blocks = reserve(cfg, 8);
+    DirectGraphLayout layout = buildLayout(g, feat, cfg, blocks);
+    flash::PageStore store(cfg);
+    materialize(layout, g, feat, store);
+
+    AddressVerifier verifier(layout.blocks, cfg.pagesPerBlock);
+    for (const auto &[ppa, dir] : layout.pages) {
+        EXPECT_TRUE(verifier.pageAllowed(ppa));
+        auto page = store.read(ppa);
+        EXPECT_TRUE(verifier.pageImageSafe(ppa, page, feat.dim()));
+    }
+    // A page outside the reserved blocks is rejected.
+    flash::Ppa foreign =
+        static_cast<flash::Ppa>(cfg.totalPages() - 1);
+    EXPECT_FALSE(verifier.pageAllowed(foreign));
+
+    // A page image with an embedded out-of-range address is rejected.
+    std::vector<std::uint8_t> evil(cfg.pageSize, 0);
+    std::vector<DgAddress> bad = {DgAddress(foreign, 0)};
+    encodeSecondary(evil, 1, bad);
+    flash::Ppa dest = layout.nodes[0].primary.page();
+    EXPECT_FALSE(verifier.pageImageSafe(dest, evil, feat.dim()));
+}
+
+TEST(Builder, InflationAccounting)
+{
+    flash::FlashConfig cfg = smallFlash();
+    graph::GeneratorParams gp;
+    gp.nodes = 2000;
+    gp.avgDegree = 28;
+    graph::Graph g = graph::generatePowerLaw(gp);
+    graph::FeatureTable feat(100, 4);
+    auto blocks = reserve(cfg, 700);
+    DirectGraphLayout layout = buildLayout(g, feat, cfg, blocks);
+    EXPECT_EQ(layout.stats.rawBytes,
+              g.numEdges() * 4 + 2000ull * 200);
+    EXPECT_GE(layout.stats.flashBytes, layout.stats.usedBytes);
+    EXPECT_GT(layout.stats.inflatePct(), 0.0);
+    EXPECT_LT(layout.stats.inflatePct(), 120.0);
+}
+
+} // namespace
+
+namespace {
+
+using namespace beacongnn;
+using namespace beacongnn::dg;
+
+TEST(Codec, FuzzDecodeNeverCrashes)
+{
+    // decodeSection / findSection / decodePage must reject arbitrary
+    // bytes gracefully — the on-die §VI-E check depends on it.
+    sim::Pcg32 rng(0xF422);
+    std::vector<std::uint8_t> page(4096);
+    for (int round = 0; round < 300; ++round) {
+        for (auto &b : page)
+            b = static_cast<std::uint8_t>(rng.next());
+        // Bias some rounds toward plausible type bytes so the deeper
+        // decode paths get fuzzed too.
+        if (round % 3 == 0)
+            page[0] = static_cast<std::uint8_t>(1 + round % 2);
+        auto s0 = decodeSection(page, 0, 64);
+        if (s0) {
+            EXPECT_LE(s0->neighborAddrs.size(), 4096u / 4);
+        }
+        for (unsigned idx = 0; idx < kMaxSectionsPerPage; idx += 5)
+            (void)findSection(page, idx, 64);
+        auto all = decodePage(page, 64);
+        EXPECT_LE(all.size(), kMaxSectionsPerPage);
+    }
+}
+
+TEST(Codec, FuzzTruncatedSections)
+{
+    // Valid sections truncated at every boundary must decode to
+    // nullopt, never read out of bounds.
+    std::vector<std::uint8_t> full(4096, 0);
+    std::vector<SecondaryRef> secs = {{DgAddress(3, 1), 9}};
+    std::vector<std::uint8_t> feat(32, 5);
+    std::vector<DgAddress> nbrs = {DgAddress(1, 0), DgAddress(2, 1)};
+    std::uint32_t size = encodePrimary(full, 7, 11, secs, feat, nbrs);
+    for (std::uint32_t cut = 0; cut < size; ++cut) {
+        std::span<const std::uint8_t> prefix(full.data(), cut);
+        auto dec = decodeSection(prefix, 0, 16);
+        EXPECT_FALSE(dec.has_value()) << "cut=" << cut;
+    }
+}
+
+} // namespace

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Tests for the IEEE binary16 implementation and the FP16-accurate
+ * forward pass: exact round trips, rounding behaviour, special
+ * values, subnormals, and bounded divergence from the FP32 path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/compute.h"
+#include "gnn/half.h"
+#include "gnn/sampler.h"
+#include "graph/generator.h"
+
+namespace {
+
+using namespace beacongnn::gnn;
+
+TEST(Half, ExactValuesRoundTrip)
+{
+    // Values exactly representable in binary16 survive unchanged.
+    for (float f : {0.0f, 1.0f, -1.0f, 0.5f, 2.0f, 1024.0f, -0.25f,
+                    65504.0f /* max half */, 6.103515625e-05f
+                    /* min normal half */}) {
+        EXPECT_EQ(toHalfPrecision(f), f) << f;
+    }
+}
+
+TEST(Half, SignedZero)
+{
+    EXPECT_EQ(floatToHalfBits(0.0f), 0x0000);
+    EXPECT_EQ(floatToHalfBits(-0.0f), 0x8000);
+    EXPECT_EQ(halfBitsToFloat(0x8000), -0.0f);
+    EXPECT_TRUE(std::signbit(halfBitsToFloat(0x8000)));
+}
+
+TEST(Half, KnownBitPatterns)
+{
+    EXPECT_EQ(floatToHalfBits(1.0f), 0x3C00);
+    EXPECT_EQ(floatToHalfBits(2.0f), 0x4000);
+    EXPECT_EQ(floatToHalfBits(-2.0f), 0xC000);
+    EXPECT_EQ(floatToHalfBits(0.5f), 0x3800);
+    EXPECT_EQ(floatToHalfBits(65504.0f), 0x7BFF);
+    EXPECT_FLOAT_EQ(halfBitsToFloat(0x3C00), 1.0f);
+    EXPECT_FLOAT_EQ(halfBitsToFloat(0x7BFF), 65504.0f);
+}
+
+TEST(Half, OverflowToInfinity)
+{
+    EXPECT_EQ(floatToHalfBits(65536.0f), 0x7C00);
+    EXPECT_EQ(floatToHalfBits(-1e10f), 0xFC00);
+    EXPECT_TRUE(std::isinf(halfBitsToFloat(0x7C00)));
+}
+
+TEST(Half, NanPreserved)
+{
+    float nan = std::nanf("");
+    std::uint16_t h = floatToHalfBits(nan);
+    EXPECT_EQ(h & 0x7C00, 0x7C00); // Exponent all ones.
+    EXPECT_NE(h & 0x03FF, 0);      // Nonzero mantissa.
+    EXPECT_TRUE(std::isnan(halfBitsToFloat(h)));
+}
+
+TEST(Half, Subnormals)
+{
+    // Smallest positive subnormal half = 2^-24.
+    float tiny = std::ldexp(1.0f, -24);
+    EXPECT_EQ(floatToHalfBits(tiny), 0x0001);
+    EXPECT_FLOAT_EQ(halfBitsToFloat(0x0001), tiny);
+    // Below half of the smallest subnormal: flush to zero.
+    EXPECT_EQ(floatToHalfBits(std::ldexp(1.0f, -26)), 0x0000);
+    // Subnormal round trip across the range.
+    for (std::uint16_t bits = 1; bits < 0x400; bits += 37) {
+        float f = halfBitsToFloat(bits);
+        EXPECT_EQ(floatToHalfBits(f), bits) << bits;
+    }
+}
+
+TEST(Half, RoundToNearestEven)
+{
+    // 1 + 2^-11 sits exactly between 1.0 and the next half (1+2^-10):
+    // ties to even -> 1.0 (even mantissa).
+    float halfway = 1.0f + std::ldexp(1.0f, -11);
+    EXPECT_EQ(floatToHalfBits(halfway), 0x3C00);
+    // Slightly above the tie rounds up.
+    float above = 1.0f + std::ldexp(1.0f, -11) + std::ldexp(1.0f, -20);
+    EXPECT_EQ(floatToHalfBits(above), 0x3C01);
+}
+
+class HalfRoundTrip : public ::testing::TestWithParam<std::uint16_t>
+{
+};
+
+TEST_P(HalfRoundTrip, AllNormalBitsRoundTrip)
+{
+    // Every finite half value converts to float and back unchanged.
+    std::uint16_t start = GetParam();
+    for (std::uint32_t b = start; b < std::uint32_t{start} + 0x800;
+         ++b) {
+        auto bits = static_cast<std::uint16_t>(b);
+        if ((bits & 0x7C00) == 0x7C00)
+            continue; // Inf/NaN handled elsewhere.
+        float f = halfBitsToFloat(bits);
+        ASSERT_EQ(floatToHalfBits(f), bits) << std::hex << bits;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HalfRoundTrip,
+                         ::testing::Values(0x0000, 0x0800, 0x1000,
+                                           0x3800, 0x7000, 0x8000,
+                                           0xB800, 0xF000));
+
+TEST(Half, ValueTypeArithmetic)
+{
+    Half a(1.5f), b(2.25f);
+    EXPECT_FLOAT_EQ((a + b).toFloat(), 3.75f);
+    EXPECT_FLOAT_EQ((a * b).toFloat(), 3.375f);
+    EXPECT_EQ(Half::fromBits(0x3C00).toFloat(), 1.0f);
+    EXPECT_EQ(Half(1.0f), Half::fromBits(0x3C00));
+}
+
+TEST(Fp16Forward, TracksFp32WithinRoundingError)
+{
+    using namespace beacongnn;
+    graph::Graph g = graph::generateRing(200, 8);
+    graph::FeatureTable feat(32, 3);
+    ModelConfig m;
+    m.hops = 2;
+    m.fanout = 3;
+    m.featureDim = 32;
+    m.hiddenDim = 16;
+    m.seed = 9;
+    std::vector<graph::NodeId> targets = {0, 40, 120};
+    Subgraph sg = csrSample(g, m, 0, targets);
+
+    auto f32 = forward(sg, feat, m);
+    auto f16 = forwardFp16(sg, feat, m);
+    ASSERT_EQ(f32.size(), f16.size());
+    double max_rel = 0;
+    for (std::size_t t = 0; t < f32.size(); ++t) {
+        ASSERT_EQ(f32[t].size(), f16[t].size());
+        for (std::size_t i = 0; i < f32[t].size(); ++i) {
+            double denom = std::max(0.05, static_cast<double>(std::abs(f32[t][i])));
+            max_rel = std::max(
+                max_rel, std::abs(f32[t][i] - f16[t][i]) / denom);
+        }
+    }
+    // Half has ~3 decimal digits; two layers of accumulation keep the
+    // relative divergence small but nonzero.
+    EXPECT_LT(max_rel, 0.05);
+    EXPECT_GT(max_rel, 0.0);
+}
+
+TEST(Fp16Forward, Deterministic)
+{
+    using namespace beacongnn;
+    graph::Graph g = graph::generateRing(50, 5);
+    graph::FeatureTable feat(16, 3);
+    ModelConfig m;
+    m.hops = 2;
+    m.featureDim = 16;
+    m.hiddenDim = 8;
+    std::vector<graph::NodeId> targets = {7};
+    Subgraph sg = csrSample(g, m, 1, targets);
+    auto a = forwardFp16(sg, feat, m);
+    auto b = forwardFp16(sg, feat, m);
+    for (std::size_t i = 0; i < a[0].size(); ++i)
+        EXPECT_EQ(a[0][i], b[0][i]);
+}
+
+} // namespace

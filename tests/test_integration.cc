@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Cross-cutting integration tests: regular I/O coexisting with GNN
+ * acceleration on one device (§VI-G), coalescing-ablation functional
+ * equivalence, output-stationary dataflow properties, multi-seed
+ * cross-platform equivalence sweeps, and full-workload determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/beacongnn.h"
+#include "graph/generator.h"
+#include "platforms/runner.h"
+
+namespace {
+
+using namespace beacongnn;
+
+TEST(Integration, RegularIoCoexistsWithAcceleration)
+{
+    SystemOptions opts;
+    opts.system.flash.channels = 4;
+    opts.system.flash.diesPerChannel = 2;
+    opts.system.flash.blocksPerPlane = 128;
+    opts.system.flash.pagesPerBlock = 16;
+    opts.model.hops = 2;
+    graph::Graph g = graph::generateRing(1000, 16);
+    BeaconGnnSystem sys(g, graph::FeatureTable(16, 1), opts);
+
+    // Regular data written before the GNN batch.
+    std::vector<std::uint8_t> data(opts.system.flash.pageSize, 0x42);
+    auto w = sys.io().hostWrite(0, 77, data);
+    ASSERT_TRUE(w.ok);
+    EXPECT_EQ(w.deferredBy, 0u);
+
+    // Run a mini-batch; requests "during" it get deferred.
+    std::vector<graph::NodeId> targets = {1, 2, 3, 4};
+    auto r = sys.runMiniBatch(targets);
+    ASSERT_TRUE(r.prep.ok);
+    auto mid = sys.io().hostRead(
+        r.prep.start + (r.prep.finish - r.prep.start) / 2, 77,
+        data);
+    ASSERT_TRUE(mid.ok);
+    EXPECT_GT(mid.deferredBy, 0u);
+    EXPECT_EQ(sys.io().deferredCount(), 1u);
+    EXPECT_EQ(data[0], 0x42);
+
+    // After the batch: immediate service, content intact.
+    auto after =
+        sys.io().hostRead(r.prep.finish + 1000, 77, data);
+    ASSERT_TRUE(after.ok);
+    EXPECT_EQ(after.deferredBy, 0u);
+
+    // Regular writes never touched the DirectGraph blocks.
+    auto ppa = sys.firmware().ftl().translate(77, false);
+    ASSERT_TRUE(ppa.has_value());
+    EXPECT_FALSE(sys.firmware().ftl().ppaReserved(*ppa));
+}
+
+TEST(Integration, CoalescingAblationSamplesIdentically)
+{
+    // Hub graph with spills; wide fanout so secondaries get multiple
+    // hits. Coalescing on/off must not change the subgraph.
+    gnn::ModelConfig model;
+    model.hops = 2;
+    model.fanout = 12;
+    ssd::SystemConfig sys;
+    auto spec = graph::workload("amazon");
+    spec.simNodes = 2000;
+    spec.avgDegree = 1600; // Force secondary sections.
+    auto bundle = platforms::makeBundle(spec, sys.flash, model);
+    platforms::RunConfig rc;
+    rc.batchSize = 16;
+    rc.batches = 1;
+
+    auto agg = [](const gnn::Subgraph &sg) {
+        std::map<std::pair<graph::NodeId, int>,
+                 std::multiset<graph::NodeId>> m;
+        for (gnn::Slot s = 0; s < sg.size(); ++s) {
+            const auto &e = sg[s];
+            if (e.parent == gnn::kNoParent)
+                continue;
+            m[{sg[e.parent].node, sg[e.parent].hop}].insert(e.node);
+        }
+        return m;
+    };
+
+    auto on = platforms::makePlatform(platforms::PlatformKind::BG2);
+    auto off = on;
+    off.flags.coalesceSecondary = false;
+    auto a = platforms::runPlatform(on, rc, *bundle);
+    auto b = platforms::runPlatform(off, rc, *bundle);
+    ASSERT_TRUE(a.ok && b.ok);
+    EXPECT_EQ(a.lastSubgraph.size(), b.lastSubgraph.size());
+    EXPECT_EQ(agg(a.lastSubgraph), agg(b.lastSubgraph));
+    // Without coalescing the device issues strictly more reads.
+    EXPECT_GT(b.tally.flashReads, a.tally.flashReads);
+}
+
+TEST(Integration, OutputStationaryDataflowProperties)
+{
+    accel::SystolicConfig ws;
+    accel::SystolicConfig os = ws;
+    os.dataflow = accel::Dataflow::OutputStationary;
+    // Same MAC count either way; OS writes each output exactly once.
+    gnn::GemmShape g{1000, 128, 256};
+    auto ews = accel::estimateGemm(ws, g);
+    auto eos = accel::estimateGemm(os, g);
+    EXPECT_EQ(ews.macs, eos.macs);
+    EXPECT_EQ(eos.sramWriteBytes, g.m * g.n * 2);
+    EXPECT_GT(ews.sramWriteBytes, eos.sramWriteBytes);
+    // Both stay within the MAC-grid utilization bound.
+    EXPECT_LE(eos.utilization(os), 1.0);
+    EXPECT_GT(eos.utilization(os), 0.0);
+    // K-dominated shapes favour OS: partial sums stay in the PEs
+    // instead of being re-accumulated per K tile.
+    gnn::GemmShape deep{32, 32, 100000};
+    EXPECT_LT(accel::estimateGemm(os, deep).cycles,
+              accel::estimateGemm(ws, deep).cycles / 2);
+    // M-dominated shapes favour WS: weights load once, rows stream.
+    gnn::GemmShape tall{100000, 32, 32};
+    EXPECT_LT(accel::estimateGemm(ws, tall).cycles,
+              accel::estimateGemm(os, tall).cycles);
+}
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SeedSweep, PlatformsSampleIdenticallyAcrossSeeds)
+{
+    // For any model seed, all DirectGraph platforms and the golden
+    // sampler agree on the sampled multiset.
+    gnn::ModelConfig model;
+    model.hops = 2;
+    model.fanout = 3;
+    model.seed = GetParam();
+    ssd::SystemConfig sys;
+    sys.flash.channels = 4;
+    sys.flash.diesPerChannel = 2;
+    auto spec = graph::workload("OGBN");
+    spec.simNodes = 3000;
+    auto bundle = platforms::makeBundle(spec, sys.flash, model);
+    platforms::RunConfig rc;
+    rc.system = sys;
+    rc.batchSize = 16;
+    rc.batches = 1;
+    rc.targetSeed = GetParam() * 7 + 1;
+
+    auto dgsp = platforms::runPlatform(
+        platforms::makePlatform(platforms::PlatformKind::BG_DGSP), rc,
+        *bundle);
+    auto bg2 = platforms::runPlatform(
+        platforms::makePlatform(platforms::PlatformKind::BG2), rc,
+        *bundle);
+    ASSERT_TRUE(dgsp.ok && bg2.ok);
+    ASSERT_EQ(dgsp.lastSubgraph.size(), bg2.lastSubgraph.size());
+    std::multiset<graph::NodeId> a, b;
+    for (gnn::Slot s = 0; s < dgsp.lastSubgraph.size(); ++s) {
+        a.insert(dgsp.lastSubgraph[s].node);
+        b.insert(bg2.lastSubgraph[s].node);
+    }
+    EXPECT_EQ(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 17u, 333u, 54321u));
+
+TEST(Integration, FullWorkloadRunIsDeterministic)
+{
+    ssd::SystemConfig sys;
+    auto spec = graph::workload("movielens");
+    spec.simNodes = 5000;
+    auto bundle =
+        platforms::makeBundle(spec, sys.flash, gnn::ModelConfig{});
+    platforms::RunConfig rc;
+    rc.batchSize = 64;
+    rc.batches = 3;
+    for (auto kind :
+         {platforms::PlatformKind::CC, platforms::PlatformKind::BG_SP,
+          platforms::PlatformKind::BG2}) {
+        auto p = platforms::makePlatform(kind);
+        auto a = platforms::runPlatform(p, rc, *bundle);
+        auto b = platforms::runPlatform(p, rc, *bundle);
+        EXPECT_EQ(a.totalTime, b.totalTime) << p.name;
+        EXPECT_EQ(a.tally.channelBytes, b.tally.channelBytes) << p.name;
+        EXPECT_EQ(a.energy.total(), b.energy.total()) << p.name;
+    }
+}
+
+TEST(Integration, ScrubThenReclaimThenServe)
+{
+    // The full §VI-F lifecycle on one device, ending with a healthy
+    // mini-batch.
+    SystemOptions opts;
+    opts.system.flash.channels = 4;
+    opts.system.flash.diesPerChannel = 2;
+    opts.system.flash.blocksPerPlane = 256;
+    opts.system.flash.pagesPerBlock = 16;
+    opts.model.hops = 2;
+    graph::GeneratorParams gp;
+    gp.nodes = 600;
+    gp.avgDegree = 24;
+    BeaconGnnSystem sys(graph::generatePowerLaw(gp),
+                        graph::FeatureTable(16, 2), opts);
+
+    // Corrupt, scrub, verify.
+    flash::Ppa victim = sys.layout().nodes[3].primary.page();
+    sys.corruptBit(victim, 20, 1);
+    EXPECT_GE(sys.scrub().errorsFound, 1u);
+
+    // Wear, reclaim, verify.
+    std::vector<std::uint8_t> data(
+        sys.pageStore().pageBytes(), 1);
+    std::set<flash::BlockId> worn;
+    for (ssd::Lpa l = 0; l < 64; ++l) {
+        auto w = sys.io().hostWrite(0, l, data);
+        ASSERT_TRUE(w.ok);
+        auto p = sys.firmware().ftl().translate(l, false);
+        worn.insert(sys.pageStore().addressCodec().blockOf(*p));
+    }
+    for (auto b : worn)
+        for (int i = 0; i < 100; ++i)
+            sys.pageStore().eraseBlock(b);
+    EXPECT_TRUE(sys.reclaimIfNeeded(10.0));
+
+    std::vector<graph::NodeId> targets = {3, 9, 27};
+    auto r = sys.runMiniBatch(targets);
+    EXPECT_TRUE(r.prep.ok);
+    EXPECT_EQ(r.embeddings.size(), 3u);
+}
+
+} // namespace

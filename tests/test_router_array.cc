@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the channel-level command router (§V-B) and the §VIII
+ * computational storage array: routing/crossbar accounting, bounded
+ * dispatch queues, subgraph equivalence between a single BG-2 device
+ * and any array size (keyed sampling), and scaling behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "engines/command_router.h"
+#include "platforms/array.h"
+
+namespace {
+
+using namespace beacongnn;
+using namespace beacongnn::engines;
+
+flash::FlashConfig
+smallFlash()
+{
+    flash::FlashConfig cfg;
+    cfg.channels = 4;
+    cfg.diesPerChannel = 2;
+    cfg.blocksPerPlane = 16;
+    cfg.pagesPerBlock = 8;
+    return cfg;
+}
+
+TEST(CommandRouter, RoutesWithCrossbarLatency)
+{
+    ssd::EngineConfig ecfg;
+    flash::FlashConfig cfg = smallFlash();
+    CommandRouter router(ecfg, cfg);
+    // Page on channel 0 (block 0); command from channel 2.
+    sim::Tick arrived = router.route(100, 2, 0);
+    EXPECT_EQ(arrived, 100 + ecfg.crossbarHop);
+    EXPECT_EQ(router.stats().routed, 1u);
+    EXPECT_EQ(router.stats().crossChannel, 1u);
+    // Same-channel command does not count as cross-channel.
+    router.route(100, 0, 0);
+    EXPECT_EQ(router.stats().crossChannel, 1u);
+}
+
+TEST(CommandRouter, ParseCostsRouterParse)
+{
+    ssd::EngineConfig ecfg;
+    CommandRouter router(ecfg, smallFlash());
+    EXPECT_EQ(router.parse(500), 500 + ecfg.routerParse);
+    EXPECT_EQ(router.stats().parsed, 1u);
+}
+
+TEST(CommandRouter, BoundedQueueBackpressures)
+{
+    ssd::EngineConfig ecfg;
+    flash::FlashConfig cfg = smallFlash();
+    CommandRouter router(ecfg, cfg, /*depth=*/2);
+    // Fill die 0's queue with two never-completing commands.
+    sim::Tick a = router.route(0, 0, 0);
+    router.bindCompletion(0, 1000);
+    sim::Tick b = router.route(0, 0, 0);
+    router.bindCompletion(0, 2000);
+    EXPECT_EQ(a, ecfg.crossbarHop);
+    EXPECT_EQ(b, ecfg.crossbarHop);
+    // Third command must wait for the first slot to drain (t=1000).
+    sim::Tick c = router.route(0, 0, 0);
+    EXPECT_GE(c, 1000u);
+    EXPECT_EQ(router.stats().peakQueue, 2u);
+}
+
+TEST(CommandRouter, QueueDrainsByCompletionTime)
+{
+    ssd::EngineConfig ecfg;
+    CommandRouter router(ecfg, smallFlash(), 2);
+    router.route(0, 0, 0);
+    router.bindCompletion(0, 50);
+    router.route(0, 0, 0);
+    router.bindCompletion(0, 60);
+    // At t=100 both slots have drained: no wait.
+    sim::Tick c = router.route(100, 0, 0);
+    EXPECT_EQ(c, 100 + ecfg.crossbarHop);
+}
+
+// --------------------------------------------------------------
+// Array tests.
+// --------------------------------------------------------------
+
+struct ArrayRig
+{
+    std::unique_ptr<platforms::WorkloadBundle> bundle;
+    platforms::RunConfig rc;
+
+    ArrayRig()
+    {
+        gnn::ModelConfig model;
+        ssd::SystemConfig sys;
+        auto spec = graph::workload("amazon");
+        spec.simNodes = 4000;
+        bundle = platforms::makeBundle(spec, sys.flash, model);
+        rc.batchSize = 32;
+        rc.batches = 2;
+    }
+};
+
+TEST(Array, SingleDeviceMatchesBg2Subgraph)
+{
+    ArrayRig rig;
+    platforms::ArrayConfig acfg;
+    acfg.devices = 1;
+    auto array = platforms::runArray(acfg, rig.rc, *rig.bundle);
+    auto single = platforms::runPlatform(
+        platforms::makePlatform(platforms::PlatformKind::BG2), rig.rc,
+        *rig.bundle);
+    ASSERT_TRUE(array.ok && single.ok);
+    EXPECT_EQ(array.lastSubgraph.size(), single.lastSubgraph.size());
+    EXPECT_EQ(array.crossDevice, 0u);
+}
+
+TEST(Array, PartitioningDoesNotChangeSampling)
+{
+    // Keyed sampling: the array samples the exact same subgraph
+    // regardless of how the graph is partitioned.
+    ArrayRig rig;
+    auto agg = [](const gnn::Subgraph &sg) {
+        std::map<std::pair<graph::NodeId, int>,
+                 std::multiset<graph::NodeId>> m;
+        for (gnn::Slot s = 0; s < sg.size(); ++s) {
+            const auto &e = sg[s];
+            if (e.parent == gnn::kNoParent)
+                continue;
+            m[{sg[e.parent].node, sg[e.parent].hop}].insert(e.node);
+        }
+        return m;
+    };
+    platforms::ArrayConfig one;
+    one.devices = 1;
+    platforms::ArrayConfig four;
+    four.devices = 4;
+    auto a = platforms::runArray(one, rig.rc, *rig.bundle);
+    auto b = platforms::runArray(four, rig.rc, *rig.bundle);
+    ASSERT_TRUE(a.ok && b.ok);
+    EXPECT_EQ(a.lastSubgraph.size(), b.lastSubgraph.size());
+    EXPECT_EQ(agg(a.lastSubgraph), agg(b.lastSubgraph));
+    EXPECT_GT(b.crossDevice, 0u);
+    EXPECT_EQ(a.commands, b.commands);
+}
+
+TEST(Array, ThroughputScalesWithDevices)
+{
+    ArrayRig rig;
+    rig.rc.batchSize = 128;
+    double prev = 0;
+    for (unsigned n : {1u, 2u, 4u}) {
+        platforms::ArrayConfig acfg;
+        acfg.devices = n;
+        auto r = platforms::runArray(acfg, rig.rc, *rig.bundle);
+        ASSERT_TRUE(r.ok);
+        EXPECT_GT(r.throughput, prev);
+        prev = r.throughput;
+    }
+}
+
+TEST(Array, CrossDeviceFractionGrowsWithDevices)
+{
+    ArrayRig rig;
+    platforms::ArrayConfig two;
+    two.devices = 2;
+    platforms::ArrayConfig eight;
+    eight.devices = 8;
+    auto a = platforms::runArray(two, rig.rc, *rig.bundle);
+    auto b = platforms::runArray(eight, rig.rc, *rig.bundle);
+    // Random partitioning: expect ~1/2 vs ~7/8 of children remote.
+    EXPECT_GT(b.crossFraction, a.crossFraction);
+    EXPECT_NEAR(a.crossFraction, 0.5, 0.15);
+    EXPECT_GT(b.crossFraction, 0.75);
+}
+
+TEST(Array, SlowP2pLinkHurtsScaling)
+{
+    ArrayRig rig;
+    platforms::ArrayConfig fast;
+    fast.devices = 4;
+    platforms::ArrayConfig slow = fast;
+    slow.p2pMBps = 10.0; // Pathologically slow link.
+    slow.p2pLatency = sim::microseconds(100);
+    auto f = platforms::runArray(fast, rig.rc, *rig.bundle);
+    auto s = platforms::runArray(slow, rig.rc, *rig.bundle);
+    EXPECT_GT(f.throughput, 1.5 * s.throughput);
+}
+
+} // namespace
