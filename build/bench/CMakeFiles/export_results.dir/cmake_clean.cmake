@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/export_results.dir/export_results.cc.o"
+  "CMakeFiles/export_results.dir/export_results.cc.o.d"
+  "export_results"
+  "export_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/export_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

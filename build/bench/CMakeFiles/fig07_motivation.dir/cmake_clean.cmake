@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_motivation.dir/fig07_motivation.cc.o"
+  "CMakeFiles/fig07_motivation.dir/fig07_motivation.cc.o.d"
+  "fig07_motivation"
+  "fig07_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_throughput.dir/fig14_throughput.cc.o"
+  "CMakeFiles/fig14_throughput.dir/fig14_throughput.cc.o.d"
+  "fig14_throughput"
+  "fig14_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

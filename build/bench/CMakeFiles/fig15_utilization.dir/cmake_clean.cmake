@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_utilization.dir/fig15_utilization.cc.o"
+  "CMakeFiles/fig15_utilization.dir/fig15_utilization.cc.o.d"
+  "fig15_utilization"
+  "fig15_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

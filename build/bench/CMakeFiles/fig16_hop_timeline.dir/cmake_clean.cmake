@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_hop_timeline.dir/fig16_hop_timeline.cc.o"
+  "CMakeFiles/fig16_hop_timeline.dir/fig16_hop_timeline.cc.o.d"
+  "fig16_hop_timeline"
+  "fig16_hop_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_hop_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_cmd_latency.dir/fig17_cmd_latency.cc.o"
+  "CMakeFiles/fig17_cmd_latency.dir/fig17_cmd_latency.cc.o.d"
+  "fig17_cmd_latency"
+  "fig17_cmd_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_cmd_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

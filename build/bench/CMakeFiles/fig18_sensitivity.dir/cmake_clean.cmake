@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_sensitivity.dir/fig18_sensitivity.cc.o"
+  "CMakeFiles/fig18_sensitivity.dir/fig18_sensitivity.cc.o.d"
+  "fig18_sensitivity"
+  "fig18_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

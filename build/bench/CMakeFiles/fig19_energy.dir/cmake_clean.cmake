@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_energy.dir/fig19_energy.cc.o"
+  "CMakeFiles/fig19_energy.dir/fig19_energy.cc.o.d"
+  "fig19_energy"
+  "fig19_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

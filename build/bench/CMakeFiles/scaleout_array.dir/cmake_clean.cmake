@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scaleout_array.dir/scaleout_array.cc.o"
+  "CMakeFiles/scaleout_array.dir/scaleout_array.cc.o.d"
+  "scaleout_array"
+  "scaleout_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaleout_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

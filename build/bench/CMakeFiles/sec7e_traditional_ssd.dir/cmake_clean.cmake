@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7e_traditional_ssd.dir/sec7e_traditional_ssd.cc.o"
+  "CMakeFiles/sec7e_traditional_ssd.dir/sec7e_traditional_ssd.cc.o.d"
+  "sec7e_traditional_ssd"
+  "sec7e_traditional_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7e_traditional_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

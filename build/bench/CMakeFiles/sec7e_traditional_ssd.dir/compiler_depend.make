@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec7e_traditional_ssd.
+# This may be replaced when dependencies are built.

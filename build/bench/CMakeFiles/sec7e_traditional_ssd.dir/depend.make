@@ -1,0 +1,2 @@
+# Empty dependencies file for sec7e_traditional_ssd.
+# This may be replaced when dependencies are built.

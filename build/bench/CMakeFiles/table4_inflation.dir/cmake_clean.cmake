@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_inflation.dir/table4_inflation.cc.o"
+  "CMakeFiles/table4_inflation.dir/table4_inflation.cc.o.d"
+  "table4_inflation"
+  "table4_inflation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_inflation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gnn_query.dir/gnn_query.cpp.o"
+  "CMakeFiles/gnn_query.dir/gnn_query.cpp.o.d"
+  "gnn_query"
+  "gnn_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gnn_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

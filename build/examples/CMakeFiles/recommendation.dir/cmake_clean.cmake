@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommendation.dir/recommendation.cpp.o"
+  "CMakeFiles/recommendation.dir/recommendation.cpp.o.d"
+  "recommendation"
+  "recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

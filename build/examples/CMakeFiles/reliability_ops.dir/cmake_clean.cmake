@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_ops.dir/reliability_ops.cpp.o"
+  "CMakeFiles/reliability_ops.dir/reliability_ops.cpp.o.d"
+  "reliability_ops"
+  "reliability_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_epochs.dir/train_epochs.cpp.o"
+  "CMakeFiles/train_epochs.dir/train_epochs.cpp.o.d"
+  "train_epochs"
+  "train_epochs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

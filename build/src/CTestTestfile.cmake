@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("flash")
+subdirs("graph")
+subdirs("directgraph")
+subdirs("gnn")
+subdirs("accel")
+subdirs("ssd")
+subdirs("energy")
+subdirs("engines")
+subdirs("platforms")
+subdirs("core")

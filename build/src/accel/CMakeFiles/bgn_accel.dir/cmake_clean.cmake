@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgn_accel.dir/accelerator.cc.o"
+  "CMakeFiles/bgn_accel.dir/accelerator.cc.o.d"
+  "CMakeFiles/bgn_accel.dir/systolic.cc.o"
+  "CMakeFiles/bgn_accel.dir/systolic.cc.o.d"
+  "CMakeFiles/bgn_accel.dir/systolic_functional.cc.o"
+  "CMakeFiles/bgn_accel.dir/systolic_functional.cc.o.d"
+  "libbgn_accel.a"
+  "libbgn_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgn_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

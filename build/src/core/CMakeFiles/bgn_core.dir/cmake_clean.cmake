@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgn_core.dir/beacongnn.cc.o"
+  "CMakeFiles/bgn_core.dir/beacongnn.cc.o.d"
+  "libbgn_core.a"
+  "libbgn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

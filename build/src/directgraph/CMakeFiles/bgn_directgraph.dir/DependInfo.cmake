@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/directgraph/builder.cc" "src/directgraph/CMakeFiles/bgn_directgraph.dir/builder.cc.o" "gcc" "src/directgraph/CMakeFiles/bgn_directgraph.dir/builder.cc.o.d"
+  "/root/repo/src/directgraph/codec.cc" "src/directgraph/CMakeFiles/bgn_directgraph.dir/codec.cc.o" "gcc" "src/directgraph/CMakeFiles/bgn_directgraph.dir/codec.cc.o.d"
+  "/root/repo/src/directgraph/verify.cc" "src/directgraph/CMakeFiles/bgn_directgraph.dir/verify.cc.o" "gcc" "src/directgraph/CMakeFiles/bgn_directgraph.dir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flash/CMakeFiles/bgn_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bgn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bgn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

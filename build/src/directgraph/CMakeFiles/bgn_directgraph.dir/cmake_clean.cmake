@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgn_directgraph.dir/builder.cc.o"
+  "CMakeFiles/bgn_directgraph.dir/builder.cc.o.d"
+  "CMakeFiles/bgn_directgraph.dir/codec.cc.o"
+  "CMakeFiles/bgn_directgraph.dir/codec.cc.o.d"
+  "CMakeFiles/bgn_directgraph.dir/verify.cc.o"
+  "CMakeFiles/bgn_directgraph.dir/verify.cc.o.d"
+  "libbgn_directgraph.a"
+  "libbgn_directgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgn_directgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bgn_directgraph.
+# This may be replaced when dependencies are built.

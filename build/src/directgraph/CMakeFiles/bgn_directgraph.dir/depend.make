@@ -1,0 +1,2 @@
+# Empty dependencies file for bgn_directgraph.
+# This may be replaced when dependencies are built.

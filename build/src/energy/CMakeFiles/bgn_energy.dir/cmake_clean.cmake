@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgn_energy.dir/energy.cc.o"
+  "CMakeFiles/bgn_energy.dir/energy.cc.o.d"
+  "libbgn_energy.a"
+  "libbgn_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgn_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

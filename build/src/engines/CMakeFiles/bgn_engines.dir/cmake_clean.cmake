@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgn_engines.dir/die_sampler.cc.o"
+  "CMakeFiles/bgn_engines.dir/die_sampler.cc.o.d"
+  "CMakeFiles/bgn_engines.dir/gnn_engine.cc.o"
+  "CMakeFiles/bgn_engines.dir/gnn_engine.cc.o.d"
+  "libbgn_engines.a"
+  "libbgn_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgn_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

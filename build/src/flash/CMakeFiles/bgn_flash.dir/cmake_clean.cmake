@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgn_flash.dir/backend.cc.o"
+  "CMakeFiles/bgn_flash.dir/backend.cc.o.d"
+  "libbgn_flash.a"
+  "libbgn_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgn_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgn_gnn.dir/compute.cc.o"
+  "CMakeFiles/bgn_gnn.dir/compute.cc.o.d"
+  "CMakeFiles/bgn_gnn.dir/sampler.cc.o"
+  "CMakeFiles/bgn_gnn.dir/sampler.cc.o.d"
+  "CMakeFiles/bgn_gnn.dir/training.cc.o"
+  "CMakeFiles/bgn_gnn.dir/training.cc.o.d"
+  "libbgn_gnn.a"
+  "libbgn_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgn_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

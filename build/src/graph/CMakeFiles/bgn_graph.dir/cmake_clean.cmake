@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgn_graph.dir/dataset.cc.o"
+  "CMakeFiles/bgn_graph.dir/dataset.cc.o.d"
+  "CMakeFiles/bgn_graph.dir/generator.cc.o"
+  "CMakeFiles/bgn_graph.dir/generator.cc.o.d"
+  "libbgn_graph.a"
+  "libbgn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgn_platforms.dir/array.cc.o"
+  "CMakeFiles/bgn_platforms.dir/array.cc.o.d"
+  "CMakeFiles/bgn_platforms.dir/platform.cc.o"
+  "CMakeFiles/bgn_platforms.dir/platform.cc.o.d"
+  "CMakeFiles/bgn_platforms.dir/report.cc.o"
+  "CMakeFiles/bgn_platforms.dir/report.cc.o.d"
+  "CMakeFiles/bgn_platforms.dir/runner.cc.o"
+  "CMakeFiles/bgn_platforms.dir/runner.cc.o.d"
+  "libbgn_platforms.a"
+  "libbgn_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgn_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

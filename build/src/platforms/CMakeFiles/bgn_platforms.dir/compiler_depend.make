@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bgn_platforms.
+# This may be replaced when dependencies are built.

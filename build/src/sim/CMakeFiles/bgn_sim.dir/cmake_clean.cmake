@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgn_sim.dir/log.cc.o"
+  "CMakeFiles/bgn_sim.dir/log.cc.o.d"
+  "CMakeFiles/bgn_sim.dir/stats.cc.o"
+  "CMakeFiles/bgn_sim.dir/stats.cc.o.d"
+  "libbgn_sim.a"
+  "libbgn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

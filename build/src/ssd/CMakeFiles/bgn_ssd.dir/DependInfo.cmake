@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ssd/ecc.cc" "src/ssd/CMakeFiles/bgn_ssd.dir/ecc.cc.o" "gcc" "src/ssd/CMakeFiles/bgn_ssd.dir/ecc.cc.o.d"
+  "/root/repo/src/ssd/firmware.cc" "src/ssd/CMakeFiles/bgn_ssd.dir/firmware.cc.o" "gcc" "src/ssd/CMakeFiles/bgn_ssd.dir/firmware.cc.o.d"
+  "/root/repo/src/ssd/ftl.cc" "src/ssd/CMakeFiles/bgn_ssd.dir/ftl.cc.o" "gcc" "src/ssd/CMakeFiles/bgn_ssd.dir/ftl.cc.o.d"
+  "/root/repo/src/ssd/io_path.cc" "src/ssd/CMakeFiles/bgn_ssd.dir/io_path.cc.o" "gcc" "src/ssd/CMakeFiles/bgn_ssd.dir/io_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/directgraph/CMakeFiles/bgn_directgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/bgn_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bgn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bgn_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

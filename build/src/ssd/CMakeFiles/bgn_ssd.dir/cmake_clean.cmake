@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgn_ssd.dir/ecc.cc.o"
+  "CMakeFiles/bgn_ssd.dir/ecc.cc.o.d"
+  "CMakeFiles/bgn_ssd.dir/firmware.cc.o"
+  "CMakeFiles/bgn_ssd.dir/firmware.cc.o.d"
+  "CMakeFiles/bgn_ssd.dir/ftl.cc.o"
+  "CMakeFiles/bgn_ssd.dir/ftl.cc.o.d"
+  "CMakeFiles/bgn_ssd.dir/io_path.cc.o"
+  "CMakeFiles/bgn_ssd.dir/io_path.cc.o.d"
+  "libbgn_ssd.a"
+  "libbgn_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgn_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bgn_ssd.
+# This may be replaced when dependencies are built.

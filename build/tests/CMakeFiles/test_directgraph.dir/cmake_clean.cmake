@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_directgraph.dir/test_directgraph.cc.o"
+  "CMakeFiles/test_directgraph.dir/test_directgraph.cc.o.d"
+  "test_directgraph"
+  "test_directgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_directgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engines.dir/test_engines.cc.o"
+  "CMakeFiles/test_engines.dir/test_engines.cc.o.d"
+  "test_engines"
+  "test_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

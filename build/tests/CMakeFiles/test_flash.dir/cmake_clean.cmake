@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flash.dir/test_flash.cc.o"
+  "CMakeFiles/test_flash.dir/test_flash.cc.o.d"
+  "test_flash"
+  "test_flash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

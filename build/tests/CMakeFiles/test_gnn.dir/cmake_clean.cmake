@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gnn.dir/test_gnn.cc.o"
+  "CMakeFiles/test_gnn.dir/test_gnn.cc.o.d"
+  "test_gnn"
+  "test_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

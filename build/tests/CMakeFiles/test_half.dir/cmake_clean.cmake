@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_half.dir/test_half.cc.o"
+  "CMakeFiles/test_half.dir/test_half.cc.o.d"
+  "test_half"
+  "test_half.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_half.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

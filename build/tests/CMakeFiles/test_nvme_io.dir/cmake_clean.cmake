@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvme_io.dir/test_nvme_io.cc.o"
+  "CMakeFiles/test_nvme_io.dir/test_nvme_io.cc.o.d"
+  "test_nvme_io"
+  "test_nvme_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvme_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

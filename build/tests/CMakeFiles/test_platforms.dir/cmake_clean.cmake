@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platforms.dir/test_platforms.cc.o"
+  "CMakeFiles/test_platforms.dir/test_platforms.cc.o.d"
+  "test_platforms"
+  "test_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

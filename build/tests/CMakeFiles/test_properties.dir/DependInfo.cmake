@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/test_properties.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/test_properties.dir/test_properties.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bgn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/CMakeFiles/bgn_platforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/bgn_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/engines/CMakeFiles/bgn_engines.dir/DependInfo.cmake"
+  "/root/repo/build/src/ssd/CMakeFiles/bgn_ssd.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/bgn_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/bgn_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/directgraph/CMakeFiles/bgn_directgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/bgn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/flash/CMakeFiles/bgn_flash.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bgn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

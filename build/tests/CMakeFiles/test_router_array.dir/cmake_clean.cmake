@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_router_array.dir/test_router_array.cc.o"
+  "CMakeFiles/test_router_array.dir/test_router_array.cc.o.d"
+  "test_router_array"
+  "test_router_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_router_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

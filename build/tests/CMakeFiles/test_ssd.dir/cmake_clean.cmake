@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssd.dir/test_ssd.cc.o"
+  "CMakeFiles/test_ssd.dir/test_ssd.cc.o.d"
+  "test_ssd"
+  "test_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

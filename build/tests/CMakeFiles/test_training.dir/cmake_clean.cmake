@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_training.dir/test_training.cc.o"
+  "CMakeFiles/test_training.dir/test_training.cc.o.d"
+  "test_training"
+  "test_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgnsim.dir/bgnsim.cc.o"
+  "CMakeFiles/bgnsim.dir/bgnsim.cc.o.d"
+  "bgnsim"
+  "bgnsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgnsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bgnsim_bg2 "/root/repo/build/tools/bgnsim" "--workload" "OGBN" "--nodes" "2000" "--batches" "1" "--batch-size" "16")
+set_tests_properties(bgnsim_bg2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(bgnsim_cc_traditional "/root/repo/build/tools/bgnsim" "--platform" "CC" "--workload" "movielens" "--nodes" "2000" "--batches" "1" "--batch-size" "16" "--traditional")
+set_tests_properties(bgnsim_cc_traditional PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
