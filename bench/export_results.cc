@@ -7,6 +7,11 @@
  *   results/fig14_runs.csv     — one row per (platform, workload)
  *   results/fig15_series.csv   — utilization time series
  *   results/sec7e_runs.csv     — the 20 us SSD grid
+ *   results/bench_timing.json  — simulator wall-clock self-timing
+ *
+ * The grids run in parallel (--jobs N / BGN_JOBS, default = cores);
+ * results are collected in submission order so the CSVs are byte-
+ * identical to a serial run.
  */
 
 #include "common.h"
@@ -19,30 +24,34 @@
 using namespace bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseJobs(argc, argv);
     std::filesystem::create_directories("results");
 
+    Stopwatch total;
+    double fig14_s = 0, sec7e_s = 0;
+
     {
+        Stopwatch sw;
         std::ofstream runs("results/fig14_runs.csv");
         std::ofstream series("results/fig15_series.csv");
         platforms::writeCsvHeader(runs);
         RunConfig rc = defaultRun();
         rc.traceUtilization = true;
         rc.utilizationBuckets = 64;
-        for (auto kind : platforms::allPlatforms()) {
-            auto p = platforms::makePlatform(kind);
-            for (const auto &w : workloadNames()) {
-                RunResult r = runPlatform(p, rc, bundle(w));
-                platforms::writeCsvRow(runs, r);
-                platforms::writeSeriesCsv(series, r);
-                std::printf("%s\n",
-                            platforms::summaryLine(r).c_str());
-            }
+        auto results =
+            runGrid(platforms::allPlatforms(), workloadNames(), rc);
+        for (const RunResult &r : results) {
+            platforms::writeCsvRow(runs, r);
+            platforms::writeSeriesCsv(series, r);
+            std::printf("%s\n", platforms::summaryLine(r).c_str());
         }
+        fig14_s = sw.seconds();
     }
 
     {
+        Stopwatch sw;
         std::ofstream runs("results/sec7e_runs.csv");
         platforms::writeCsvHeader(runs);
         RunConfig rc = defaultRun();
@@ -50,15 +59,28 @@ main()
         std::vector<PlatformKind> kinds = {PlatformKind::CC};
         for (auto k : platforms::bgLadder())
             kinds.push_back(k);
-        for (auto kind : kinds) {
-            auto p = platforms::makePlatform(kind);
-            for (const auto &w : workloadNames())
-                platforms::writeCsvRow(runs,
-                                       runPlatform(p, rc, bundle(w)));
-        }
+        for (const RunResult &r : runGrid(kinds, workloadNames(), rc))
+            platforms::writeCsvRow(runs, r);
+        sec7e_s = sw.seconds();
+    }
+
+    {
+        std::ofstream timing("results/bench_timing.json");
+        timing << "{\n"
+               << "  \"jobs\": " << sim::SimExecutor::defaultJobs()
+               << ",\n"
+               << "  \"sections\": [\n"
+               << "    {\"name\": \"fig14_grid\", \"seconds\": "
+               << fig14_s << "},\n"
+               << "    {\"name\": \"sec7e_grid\", \"seconds\": "
+               << sec7e_s << "}\n"
+               << "  ],\n"
+               << "  \"total_seconds\": " << total.seconds() << "\n"
+               << "}\n";
     }
 
     std::printf("\nWrote results/fig14_runs.csv, "
-                "results/fig15_series.csv, results/sec7e_runs.csv\n");
+                "results/fig15_series.csv, results/sec7e_runs.csv, "
+                "results/bench_timing.json\n");
     return 0;
 }

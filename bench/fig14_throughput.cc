@@ -16,8 +16,9 @@
 using namespace bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseJobs(argc, argv);
     banner("Figure 14: normalized throughput (baseline = CC)");
 
     ssd::SystemConfig sys;
@@ -58,21 +59,25 @@ main()
         {PlatformKind::BG_DGSP, 15.42}, {PlatformKind::BG2, 21.70},
     };
 
+    const auto &kinds = platforms::allPlatforms();
+    const std::size_t nw = workloadNames().size();
+    auto results = runGrid(kinds, workloadNames(), rc);
+
     std::map<std::string, double> cc_thr;
-    for (auto kind : platforms::allPlatforms()) {
-        auto p = platforms::makePlatform(kind);
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+        auto p = platforms::makePlatform(kinds[k]);
         std::printf("%-10s", p.name.c_str());
         double geo = 0;
-        for (const auto &w : workloadNames()) {
-            RunResult r = runPlatform(p, rc, bundle(w));
-            if (kind == PlatformKind::CC)
-                cc_thr[w] = r.throughput;
-            double norm = r.throughput / cc_thr[w];
+        for (std::size_t w = 0; w < nw; ++w) {
+            const RunResult &r = results[k * nw + w];
+            if (kinds[k] == PlatformKind::CC)
+                cc_thr[workloadNames()[w]] = r.throughput;
+            double norm = r.throughput / cc_thr[workloadNames()[w]];
             std::printf(" %9.2f", norm);
             geo += norm;
         }
-        geo /= static_cast<double>(workloadNames().size());
-        std::printf(" %9.2f %9.2f\n", geo, paper_mean[kind]);
+        geo /= static_cast<double>(nw);
+        std::printf(" %9.2f %9.2f\n", geo, paper_mean[kinds[k]]);
     }
     rule();
     std::printf("Shape targets: every BG-X step improves on its base; "

@@ -43,12 +43,17 @@ utilizationOverTime()
     double die_cap = sys.flash.channels * sys.flash.diesPerChannel;
     double ch_cap = sys.flash.channels;
 
-    for (const auto &w : workloadNames()) {
+    const std::vector<PlatformKind> kinds = {
+        PlatformKind::BG_SP, PlatformKind::BG_DGSP, PlatformKind::BG2};
+    const std::size_t nw = workloadNames().size();
+    auto results = runGrid(kinds, workloadNames(), rc);
+
+    for (std::size_t wi = 0; wi < nw; ++wi) {
+        const auto &w = workloadNames()[wi];
         std::printf("\n[%s]\n", w.c_str());
-        for (auto kind : {PlatformKind::BG_SP, PlatformKind::BG_DGSP,
-                          PlatformKind::BG2}) {
-            auto p = platforms::makePlatform(kind);
-            RunResult r = runPlatform(p, rc, bundle(w));
+        for (std::size_t k = 0; k < kinds.size(); ++k) {
+            auto p = platforms::makePlatform(kinds[k]);
+            const RunResult &r = results[k * nw + wi];
             std::printf("%-8s dies    ", p.name.c_str());
             series("", r.dieSeries, die_cap);
             std::printf("%-8s channels", p.name.c_str());
@@ -73,13 +78,14 @@ latencyBreakdown()
     banner("Figure 15f: resource-time breakdown, amazon "
            "(busy ms over the run)");
     RunConfig rc = defaultRun();
-    const auto &b = bundle("amazon");
     std::printf("%-10s %9s %9s %9s %9s %9s %9s %9s\n", "platform",
                 "total", "pcie", "flashdie", "channel", "fw-cores",
                 "host", "accel");
-    for (auto kind : platforms::allPlatforms()) {
-        auto p = platforms::makePlatform(kind);
-        RunResult r = runPlatform(p, rc, b);
+    const auto &kinds = platforms::allPlatforms();
+    auto results = runGrid(kinds, {"amazon"}, rc);
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+        auto p = platforms::makePlatform(kinds[k]);
+        const RunResult &r = results[k];
         ssd::SystemConfig sys = rc.system;
         double total = sim::toMillis(r.totalTime);
         std::printf("%-10s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f\n",
@@ -101,8 +107,9 @@ latencyBreakdown()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseJobs(argc, argv);
     utilizationOverTime();
     latencyBreakdown();
     return 0;

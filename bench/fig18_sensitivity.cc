@@ -35,22 +35,31 @@ sweep(const char *title, const char *paper_note,
         std::printf(" %9.0f", pt);
     std::printf("   (normalized to each platform's lowest point)\n");
 
-    for (auto kind : platforms::bgLadder()) {
-        auto p = platforms::makePlatform(kind);
-        std::vector<double> thr;
-        for (double pt : points) {
+    // One parallel job per (platform, sweep point); the flattened
+    // result vector is in submission order, so the printed table is
+    // identical to the serial nested loop.
+    const auto &kinds = platforms::bgLadder();
+    const std::size_t np = points.size();
+    auto thr = parallelMap<double>(
+        kinds.size() * np, [&](std::size_t i) {
+            auto p = platforms::makePlatform(kinds[i / np]);
             RunConfig rc = defaultRun();
             rc.batches = 3;
-            apply(rc, pt);
+            apply(rc, points[i % np]);
             const auto &b = rebuild_bundle
                                 ? bundle("amazon", rc.system.flash)
                                 : bundle("amazon");
-            thr.push_back(runPlatform(p, rc, b).throughput);
-        }
-        double lo = *std::min_element(thr.begin(), thr.end());
-        std::printf("%-10s", p.name.c_str());
-        for (double t : thr)
-            std::printf(" %9.2f", t / lo);
+            return runPlatform(p, rc, b).throughput;
+        });
+
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+        auto first = thr.begin() + static_cast<std::ptrdiff_t>(k * np);
+        double lo = *std::min_element(
+            first, first + static_cast<std::ptrdiff_t>(np));
+        std::printf("%-10s",
+                    platforms::platformName(kinds[k]).c_str());
+        for (std::size_t j = 0; j < np; ++j)
+            std::printf(" %9.2f", thr[k * np + j] / lo);
         std::printf("\n");
     }
     std::printf("%s\n\n", paper_note);
@@ -149,19 +158,20 @@ pagesizeSweep()
 int
 main(int argc, char **argv)
 {
-    const char *which = argc > 1 ? argv[1] : "all";
-    bool all = std::strcmp(which, "all") == 0;
-    if (all || !std::strcmp(which, "batch"))
+    auto rest = parseJobs(argc, argv);
+    const std::string which = rest.empty() ? "all" : rest.front();
+    bool all = which == "all";
+    if (all || which == "batch")
         batchSweep();
-    if (all || !std::strcmp(which, "chbw"))
+    if (all || which == "chbw")
         chbwSweep();
-    if (all || !std::strcmp(which, "cores"))
+    if (all || which == "cores")
         coresSweep();
-    if (all || !std::strcmp(which, "channels"))
+    if (all || which == "channels")
         channelsSweep();
-    if (all || !std::strcmp(which, "dies"))
+    if (all || which == "dies")
         diesSweep();
-    if (all || !std::strcmp(which, "pagesize"))
+    if (all || which == "pagesize")
         pagesizeSweep();
     return 0;
 }

@@ -9,6 +9,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <queue>
+
 #include "directgraph/builder.h"
 #include "directgraph/source.h"
 #include "engines/die_sampler.h"
@@ -35,6 +38,100 @@ BM_EventQueue(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 10000);
 }
 BENCHMARK(BM_EventQueue);
+
+/**
+ * Replica of the pre-InlineCallback event kernel (std::function
+ * callbacks in a std::priority_queue, full Event copy on every pop)
+ * so BM_EventKernel* measures the SBO + move-out win on the same
+ * machine and workload.
+ */
+class StdFunctionEventQueue
+{
+  public:
+    void
+    schedule(sim::Tick delay, std::function<void()> fn)
+    {
+        events.push(Event{now + delay, seq++, std::move(fn)});
+    }
+
+    void
+    run()
+    {
+        while (!events.empty()) {
+            Event ev = events.top();
+            events.pop();
+            now = ev.when;
+            ev.fn();
+        }
+    }
+
+  private:
+    struct Event
+    {
+        sim::Tick when;
+        std::uint64_t order;
+        std::function<void()> fn;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.order > b.order;
+        }
+    };
+    std::priority_queue<Event, std::vector<Event>, Later> events;
+    sim::Tick now = 0;
+    std::uint64_t seq = 0;
+};
+
+/**
+ * The realistic event capture: a component pointer plus a few words
+ * of payload (32 bytes). Too big for libstdc++'s 16-byte
+ * std::function buffer (heap per schedule), comfortably inside
+ * InlineCallback's 64 bytes (no heap).
+ */
+template <typename Queue>
+void
+eventKernelWorkload(Queue &q, std::uint64_t *acc)
+{
+    for (int i = 0; i < 10000; ++i) {
+        std::uint64_t a = static_cast<std::uint64_t>(i);
+        std::uint64_t b = a * 3;
+        std::uint64_t c = a ^ 0xBEAC0;
+        q.schedule(static_cast<sim::Tick>((i * 37) % 1000),
+                   [acc, a, b, c] { *acc += a + b + c; });
+    }
+    q.run();
+}
+
+void
+BM_EventKernelStdFunction(benchmark::State &state)
+{
+    for (auto _ : state) {
+        StdFunctionEventQueue q;
+        std::uint64_t acc = 0;
+        eventKernelWorkload(q, &acc);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventKernelStdFunction);
+
+void
+BM_EventKernelInlineCallback(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue q;
+        std::uint64_t acc = 0;
+        eventKernelWorkload(q, &acc);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventKernelInlineCallback);
 
 graph::Graph &
 benchGraph()

@@ -14,8 +14,9 @@
 using namespace bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseJobs(argc, argv);
     banner("Scale-out: BeaconGNN computational storage array (#VIII)");
     const auto &b = bundle("amazon");
     RunConfig rc = defaultRun();
@@ -24,15 +25,19 @@ main()
 
     std::printf("%8s %14s %10s %14s %12s\n", "devices", "targets/s",
                 "speedup", "cross-device", "p2p-frac");
-    double base = 0;
-    for (unsigned n : {1u, 2u, 4u, 8u}) {
-        platforms::ArrayConfig acfg;
-        acfg.devices = n;
-        auto r = platforms::runArray(acfg, rc, b);
-        if (n == 1)
-            base = r.throughput;
-        std::printf("%8u %14.0f %9.2fx %14llu %11.1f%%\n", n,
-                    r.throughput, r.throughput / base,
+    const std::vector<unsigned> device_counts = {1, 2, 4, 8};
+    auto results = parallelMap<platforms::ArrayRunResult>(
+        device_counts.size(), [&](std::size_t i) {
+            platforms::ArrayConfig acfg;
+            acfg.devices = device_counts[i];
+            return platforms::runArray(acfg, rc, b);
+        });
+    double base = results.front().throughput;
+    for (std::size_t i = 0; i < device_counts.size(); ++i) {
+        const auto &r = results[i];
+        std::printf("%8u %14.0f %9.2fx %14llu %11.1f%%\n",
+                    device_counts[i], r.throughput,
+                    r.throughput / base,
                     static_cast<unsigned long long>(r.crossDevice),
                     100.0 * r.crossFraction);
     }

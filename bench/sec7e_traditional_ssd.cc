@@ -13,8 +13,9 @@
 using namespace bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    parseJobs(argc, argv);
     banner("Section VII-E: traditional SSD (tR = 20 us)");
     RunConfig rc = defaultRun();
     rc.system.flash = rc.system.flash.asTraditional();
@@ -35,22 +36,25 @@ main()
     for (auto k : platforms::bgLadder())
         kinds.push_back(k);
 
+    // The bundle layout is geometry-independent of tR, so the cached
+    // ULL bundle is shared with the other benches.
+    const std::size_t nw = workloadNames().size();
+    auto results = runGrid(kinds, workloadNames(), rc);
+
     double dgsp_mean = 0, bg2_mean = 0;
-    for (auto kind : kinds) {
-        auto p = platforms::makePlatform(kind);
-        std::printf("%-10s", p.name.c_str());
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+        PlatformKind kind = kinds[k];
+        std::printf("%-10s", platforms::platformName(kind).c_str());
         double mean = 0;
-        for (const auto &w : workloadNames()) {
-            // The bundle layout is geometry-independent of tR, so the
-            // cached ULL bundle is reused.
-            RunResult r = runPlatform(p, rc, bundle(w));
+        for (std::size_t w = 0; w < nw; ++w) {
+            const RunResult &r = results[k * nw + w];
             if (kind == PlatformKind::CC)
-                cc_thr[w] = r.throughput;
-            double norm = r.throughput / cc_thr[w];
+                cc_thr[workloadNames()[w]] = r.throughput;
+            double norm = r.throughput / cc_thr[workloadNames()[w]];
             std::printf(" %9.2f", norm);
             mean += norm;
         }
-        mean /= static_cast<double>(workloadNames().size());
+        mean /= static_cast<double>(nw);
         if (kind == PlatformKind::BG_DGSP)
             dgsp_mean = mean;
         if (kind == PlatformKind::BG2)

@@ -6,16 +6,23 @@
  * schedule work with schedule(delay, fn); the main loop pops events in
  * (time, insertion-order) order so simultaneous events execute in a
  * deterministic FIFO order — a requirement for reproducible runs.
+ *
+ * The hot path is allocation-free: callbacks are stored in a
+ * small-buffer-optimized InlineCallback (no heap for typical
+ * captures), the heap is a plain std::vector manipulated with
+ * std::push_heap/std::pop_heap, and runUntil() moves each event out
+ * of the queue instead of copying it (closures are executed exactly
+ * once, so copyability is never needed).
  */
 
 #ifndef BEACONGNN_SIM_EVENT_QUEUE_H
 #define BEACONGNN_SIM_EVENT_QUEUE_H
 
+#include <algorithm>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/inline_callback.h"
 #include "sim/types.h"
 
 namespace beacongnn::sim {
@@ -30,7 +37,7 @@ namespace beacongnn::sim {
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
 
     EventQueue() = default;
     EventQueue(const EventQueue &) = delete;
@@ -60,12 +67,19 @@ class EventQueue
     {
         if (when < _now)
             when = _now;
-        events.push(Event{when, seq++, std::move(fn)});
+        events.push_back(Event{when, seq++, std::move(fn)});
+        std::push_heap(events.begin(), events.end(), Later{});
         return when;
     }
 
     /** Number of pending events. */
     std::size_t pending() const { return events.size(); }
+
+    /** Pre-size the event heap to avoid growth reallocations. */
+    void reserve(std::size_t n) { events.reserve(n); }
+
+    /** Allocated heap capacity (events). */
+    std::size_t capacity() const { return events.capacity(); }
 
     /**
      * Run until the queue drains.
@@ -85,21 +99,28 @@ class EventQueue
     Tick
     runUntil(Tick limit)
     {
-        while (!events.empty() && events.top().when <= limit) {
-            // Copy out before pop: the callback may schedule new events.
-            Event ev = events.top();
-            events.pop();
+        while (!events.empty() && events.front().when <= limit) {
+            // Move the top event out before executing: the callback
+            // may schedule new events (invalidating references into
+            // the heap), and moving avoids copying the closure.
+            std::pop_heap(events.begin(), events.end(), Later{});
+            Event ev = std::move(events.back());
+            events.pop_back();
             _now = ev.when;
             ev.fn();
         }
         return _now;
     }
 
-    /** Drop all pending events (used between benchmark repetitions). */
+    /**
+     * Drop all pending events and release the heap's memory (used
+     * between benchmark repetitions so one oversized run does not pin
+     * its peak allocation forever).
+     */
     void
     clear()
     {
-        events = {};
+        std::vector<Event>().swap(events);
         _now = 0;
         seq = 0;
     }
@@ -112,6 +133,7 @@ class EventQueue
         Callback fn;
     };
 
+    /** Max-heap comparator: the *earliest* event wins the top slot. */
     struct Later
     {
         bool
@@ -123,7 +145,7 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> events;
+    std::vector<Event> events;
     Tick _now = 0;
     std::uint64_t seq = 0;
 };

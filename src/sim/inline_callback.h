@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Small-buffer-optimized callback for the event kernel.
+ *
+ * The discrete-event queue schedules millions of closures per run;
+ * with std::function every schedule() pays a heap allocation as soon
+ * as the capture exceeds the implementation's tiny inline buffer
+ * (typically 16 bytes — two pointers). Simulation events almost
+ * always capture a component pointer plus a couple of integers, so an
+ * InlineCallback with 64 bytes of inline storage keeps the common
+ * case allocation-free while still spilling oversized captures to the
+ * heap transparently.
+ *
+ * InlineCallback is move-only: events are executed exactly once and
+ * the queue moves them out on pop, so copyability (the expensive part
+ * of std::function) is deliberately unsupported.
+ */
+
+#ifndef BEACONGNN_SIM_INLINE_CALLBACK_H
+#define BEACONGNN_SIM_INLINE_CALLBACK_H
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace beacongnn::sim {
+
+class InlineCallback
+{
+  public:
+    /** Inline storage for the erased callable, in bytes. */
+    static constexpr std::size_t kInlineSize = 64;
+
+    InlineCallback() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    InlineCallback(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(storage)) Fn(std::forward<F>(f));
+            ops = &inlineOps<Fn>;
+        } else {
+            *reinterpret_cast<Fn **>(storage) =
+                new Fn(std::forward<F>(f));
+            ops = &heapOps<Fn>;
+        }
+    }
+
+    InlineCallback(InlineCallback &&other) noexcept
+    {
+        moveFrom(std::move(other));
+    }
+
+    InlineCallback &
+    operator=(InlineCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(std::move(other));
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    ~InlineCallback() { reset(); }
+
+    /** True when a callable is held. */
+    explicit operator bool() const noexcept { return ops != nullptr; }
+
+    /** Invoke the held callable (must not be empty). */
+    void
+    operator()()
+    {
+        ops->invoke(storage);
+    }
+
+    /** Destroy the held callable, leaving the callback empty. */
+    void
+    reset() noexcept
+    {
+        if (ops) {
+            ops->destroy(storage);
+            ops = nullptr;
+        }
+    }
+
+    /** True when @p Fn would be stored inline (no heap allocation). */
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= kInlineSize &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+  private:
+    /** Manual vtable: one static instance per erased callable type. */
+    struct Ops
+    {
+        void (*invoke)(void *storage);
+        /** Move-construct into @p dst from @p src; destroys src. */
+        void (*relocate)(void *src, void *dst) noexcept;
+        void (*destroy)(void *storage) noexcept;
+    };
+
+    template <typename Fn>
+    static constexpr Ops inlineOps = {
+        [](void *s) { (*std::launder(reinterpret_cast<Fn *>(s)))(); },
+        [](void *src, void *dst) noexcept {
+            Fn *f = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (dst) Fn(std::move(*f));
+            f->~Fn();
+        },
+        [](void *s) noexcept {
+            std::launder(reinterpret_cast<Fn *>(s))->~Fn();
+        },
+    };
+
+    template <typename Fn>
+    static constexpr Ops heapOps = {
+        [](void *s) { (**reinterpret_cast<Fn **>(s))(); },
+        [](void *src, void *dst) noexcept {
+            *reinterpret_cast<Fn **>(dst) =
+                *reinterpret_cast<Fn **>(src);
+        },
+        [](void *s) noexcept { delete *reinterpret_cast<Fn **>(s); },
+    };
+
+    void
+    moveFrom(InlineCallback &&other) noexcept
+    {
+        ops = other.ops;
+        if (ops) {
+            ops->relocate(other.storage, storage);
+            other.ops = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage[kInlineSize];
+    const Ops *ops = nullptr;
+};
+
+} // namespace beacongnn::sim
+
+#endif // BEACONGNN_SIM_INLINE_CALLBACK_H

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Tests for the performance layer: the InlineCallback SBO type, the
+ * allocation-free EventQueue pop path, the SimExecutor thread pool,
+ * and the determinism guarantee of the parallel bench grid (parallel
+ * results identical to serial execution).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "bench/common.h"
+#include "sim/event_queue.h"
+#include "sim/executor.h"
+#include "sim/inline_callback.h"
+
+using namespace beacongnn;
+
+namespace {
+
+TEST(InlineCallback, InvokesAndEmpties)
+{
+    int hits = 0;
+    sim::InlineCallback cb([&hits] { ++hits; });
+    EXPECT_TRUE(static_cast<bool>(cb));
+    cb();
+    cb();
+    EXPECT_EQ(hits, 2);
+    cb.reset();
+    EXPECT_FALSE(static_cast<bool>(cb));
+
+    sim::InlineCallback empty;
+    EXPECT_FALSE(static_cast<bool>(empty));
+}
+
+TEST(InlineCallback, MoveOnlyCapture)
+{
+    auto value = std::make_unique<int>(41);
+    int got = 0;
+    sim::InlineCallback cb(
+        [v = std::move(value), &got] { got = *v + 1; });
+    sim::InlineCallback moved = std::move(cb);
+    EXPECT_FALSE(static_cast<bool>(cb));
+    EXPECT_TRUE(static_cast<bool>(moved));
+    moved();
+    EXPECT_EQ(got, 42);
+}
+
+TEST(InlineCallback, SmallCaptureStaysInline)
+{
+    struct Small
+    {
+        std::uint64_t a, b, c, d;
+        void operator()() {}
+    };
+    static_assert(sim::InlineCallback::fitsInline<Small>(),
+                  "32-byte captures must not heap-allocate");
+}
+
+TEST(InlineCallback, OversizeCaptureFallsBackToHeap)
+{
+    struct Big
+    {
+        char blob[128];
+        int *out;
+        void operator()() { *out = blob[0] + blob[127]; }
+    };
+    static_assert(!sim::InlineCallback::fitsInline<Big>(),
+                  "128-byte captures must take the heap path");
+
+    int out = 0;
+    Big big{};
+    big.blob[0] = 20;
+    big.blob[127] = 22;
+    big.out = &out;
+    sim::InlineCallback cb(big);
+    sim::InlineCallback moved(std::move(cb));
+    EXPECT_FALSE(static_cast<bool>(cb));
+    moved();
+    EXPECT_EQ(out, 42);
+}
+
+/** Functor counting constructions and destructions via shared tallies. */
+struct Counting
+{
+    int *ctor;
+    int *dtor;
+    char pad[48] = {}; // Keep the inline path exercised (<= 64 B).
+
+    Counting(int *c, int *d) : ctor(c), dtor(d) { ++*ctor; }
+    Counting(const Counting &o) : ctor(o.ctor), dtor(o.dtor)
+    {
+        ++*ctor;
+    }
+    Counting(Counting &&o) noexcept : ctor(o.ctor), dtor(o.dtor)
+    {
+        ++*ctor;
+    }
+    ~Counting() { ++*dtor; }
+    void operator()() {}
+};
+
+TEST(InlineCallback, DestructionCountsBalanceInline)
+{
+    static_assert(sim::InlineCallback::fitsInline<Counting>());
+    int ctor = 0, dtor = 0;
+    {
+        sim::InlineCallback cb(Counting{&ctor, &dtor});
+        sim::InlineCallback moved(std::move(cb));
+        moved();
+        sim::InlineCallback assigned;
+        assigned = std::move(moved);
+        assigned();
+    }
+    EXPECT_GT(ctor, 0);
+    EXPECT_EQ(ctor, dtor) << "every constructed functor must be "
+                             "destroyed exactly once";
+}
+
+TEST(InlineCallback, DestructionCountsBalanceHeap)
+{
+    struct BigCounting : Counting
+    {
+        char more[128] = {};
+        using Counting::Counting;
+        void operator()() {}
+    };
+    static_assert(!sim::InlineCallback::fitsInline<BigCounting>());
+    int ctor = 0, dtor = 0;
+    {
+        sim::InlineCallback cb(BigCounting{&ctor, &dtor});
+        sim::InlineCallback moved(std::move(cb));
+        moved();
+    }
+    EXPECT_GT(ctor, 0);
+    EXPECT_EQ(ctor, dtor);
+}
+
+TEST(EventQueue, MovesEventsOutInDeterministicOrder)
+{
+    sim::EventQueue q;
+    std::vector<int> order;
+    // Same timestamp: insertion order must be preserved; the payload
+    // is move-only so any copy in the pop path would not compile.
+    for (int i = 0; i < 8; ++i) {
+        auto tag = std::make_unique<int>(i);
+        q.schedule(5, [t = std::move(tag), &order] {
+            order.push_back(*t);
+        });
+    }
+    q.schedule(1, [&order] { order.push_back(-1); });
+    q.run();
+    ASSERT_EQ(order.size(), 9u);
+    EXPECT_EQ(order[0], -1);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i + 1)], i);
+}
+
+TEST(EventQueue, ClearReleasesMemoryAndReserveSizes)
+{
+    sim::EventQueue q;
+    for (int i = 0; i < 1000; ++i)
+        q.schedule(static_cast<sim::Tick>(i), [] {});
+    EXPECT_GE(q.capacity(), 1000u);
+    q.clear();
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(q.capacity(), 0u) << "clear() must free, not just empty";
+    EXPECT_EQ(q.now(), 0u);
+
+    q.reserve(256);
+    EXPECT_GE(q.capacity(), 256u);
+    int fired = 0;
+    q.schedule(3, [&fired] { ++fired; });
+    q.run();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(SimExecutor, MapReturnsResultsInSubmissionOrder)
+{
+    sim::SimExecutor ex(4);
+    EXPECT_EQ(ex.jobs(), 4u);
+    auto out = ex.map<std::size_t>(100, [](std::size_t i) {
+        return i * i;
+    });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(SimExecutor, RunCoversEveryIndexExactlyOnce)
+{
+    sim::SimExecutor ex(8);
+    std::vector<std::atomic<int>> counts(257);
+    ex.run(counts.size(), [&](std::size_t i) { counts[i]++; });
+    for (const auto &c : counts)
+        EXPECT_EQ(c.load(), 1);
+}
+
+TEST(SimExecutor, DefaultJobsHonorsOverride)
+{
+    sim::SimExecutor::setDefaultJobs(3);
+    EXPECT_EQ(sim::SimExecutor::defaultJobs(), 3u);
+    sim::SimExecutor ex;
+    EXPECT_EQ(ex.jobs(), 3u);
+    sim::SimExecutor::setDefaultJobs(0);
+    EXPECT_GE(sim::SimExecutor::defaultJobs(), 1u);
+}
+
+/** Field-by-field identity of two RunResults. */
+void
+expectSameResult(const platforms::RunResult &a,
+                 const platforms::RunResult &b)
+{
+    EXPECT_EQ(a.platform, b.platform);
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.ok, b.ok);
+    EXPECT_EQ(a.targets, b.targets);
+    EXPECT_EQ(a.prepTime, b.prepTime);
+    EXPECT_EQ(a.totalTime, b.totalTime);
+    EXPECT_EQ(a.throughput, b.throughput);
+    EXPECT_EQ(a.tally.flashReads, b.tally.flashReads);
+    EXPECT_EQ(a.tally.channelBytes, b.tally.channelBytes);
+    EXPECT_EQ(a.tally.pcieBytes, b.tally.pcieBytes);
+    EXPECT_EQ(a.dieUtil, b.dieUtil);
+    EXPECT_EQ(a.channelUtil, b.channelUtil);
+    EXPECT_EQ(a.energy.total(), b.energy.total());
+    EXPECT_EQ(a.avgPowerW, b.avgPowerW);
+}
+
+TEST(ParallelGrid, MatchesSerialExecutionExactly)
+{
+    std::vector<platforms::PlatformKind> kinds = {
+        platforms::PlatformKind::CC, platforms::PlatformKind::BG2};
+    std::vector<std::string> workloads = {"movielens", "PPI"};
+    platforms::RunConfig rc;
+    rc.batchSize = 32;
+    rc.batches = 2;
+
+    auto serial = bench::runGrid(kinds, workloads, rc, /*jobs=*/1);
+    auto parallel = bench::runGrid(kinds, workloads, rc, /*jobs=*/4);
+
+    ASSERT_EQ(serial.size(), kinds.size() * workloads.size());
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE(serial[i].platform + "/" + serial[i].workload);
+        expectSameResult(serial[i], parallel[i]);
+    }
+}
+
+} // namespace

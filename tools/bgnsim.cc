@@ -11,16 +11,22 @@
  *          --nodes 30000 --trace --csv out.csv
  *
  * Prints a human-readable summary; optionally appends a CSV row for
- * scripting sweeps.
+ * scripting sweeps. --platform and --workload accept comma-separated
+ * lists; the resulting grid runs in parallel on --jobs workers
+ * (BGN_JOBS env var / hardware cores by default) with output in
+ * deterministic grid order.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "platforms/report.h"
+#include "sim/executor.h"
 #include "sim/log.h"
 #include "platforms/runner.h"
 
@@ -34,10 +40,12 @@ usage(const char *argv0)
 {
     std::printf(
         "usage: %s [options]\n"
-        "  --platform NAME     CC|GLIST|SmartSage|BG-1|BG-DG|BG-SP|"
-        "BG-DGSP|BG-2 (default BG-2)\n"
-        "  --workload NAME     reddit|amazon|movielens|OGBN|PPI "
+        "  --platform NAME[,NAME...]  CC|GLIST|SmartSage|BG-1|BG-DG|"
+        "BG-SP|BG-DGSP|BG-2 (default BG-2)\n"
+        "  --workload NAME[,NAME...]  reddit|amazon|movielens|OGBN|PPI "
         "(default amazon)\n"
+        "  --jobs N            parallel workers for grid runs "
+        "(default: BGN_JOBS or cores)\n"
         "  --nodes N           override the workload's node count\n"
         "  --batches N         mini-batches to run (default 4)\n"
         "  --batch-size N      targets per mini-batch (default 128)\n"
@@ -62,6 +70,22 @@ parsePlatform(const std::string &name)
         if (platformName(kind) == name)
             return kind;
     sim::fatal("unknown platform: " + name);
+}
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > pos)
+            out.push_back(csv.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
 }
 
 } // namespace
@@ -115,50 +139,94 @@ main(int argc, char **argv)
         else if (a == "--no-coalesce") no_coalesce = true;
         else if (a == "--seed") rc.targetSeed =
             std::strtoull(next(), nullptr, 10);
+        else if (a == "--jobs") {
+            long v = std::strtol(next(), nullptr, 10);
+            if (v >= 1)
+                sim::SimExecutor::setDefaultJobs(
+                    static_cast<unsigned>(v));
+        }
         else if (a == "--trace") rc.traceUtilization = true;
         else if (a == "--csv") csv_path = next();
         else usage(argv[0]);
     }
 
-    auto platform = makePlatform(parsePlatform(platform_name));
-    platform.flags.dedupeNodes = dedupe;
-    platform.flags.coalesceSecondary = !no_coalesce;
+    std::vector<PlatformKind> kinds;
+    for (const auto &n : splitList(platform_name))
+        kinds.push_back(parsePlatform(n));
+    std::vector<std::string> workloads = splitList(workload_name);
+    if (kinds.empty() || workloads.empty())
+        usage(argv[0]);
 
-    auto bundle = makeBundle(graph::workload(workload_name),
-                             rc.system.flash, model, nodes);
-    std::printf("bgnsim: %s on %s (%u nodes, avg degree %.0f, "
-                "%u-dim features)\n",
-                platform.name.c_str(), bundle->name.c_str(),
-                bundle->graph.numNodes(), bundle->graph.avgDegree(),
-                bundle->features.dim());
+    auto configured = [&](PlatformKind kind) {
+        auto p = makePlatform(kind);
+        p.flags.dedupeNodes = dedupe;
+        p.flags.coalesceSecondary = !no_coalesce;
+        return p;
+    };
 
-    RunResult r = runPlatform(platform, rc, *bundle);
-    std::printf("%s\n", summaryLine(r).c_str());
-    std::printf("  prep %.2f ms | die util %.3f | channel util %.3f | "
-                "core util %.3f\n",
-                sim::toMillis(r.prepTime), r.dieUtil, r.channelUtil,
-                r.coreUtil);
-    std::printf("  flash reads %llu | channel %.1f MB | PCIe %.1f MB | "
-                "aborted %llu\n",
-                static_cast<unsigned long long>(r.tally.flashReads),
-                r.tally.channelBytes / 1048576.0,
-                r.tally.pcieBytes / 1048576.0,
-                static_cast<unsigned long long>(
-                    r.tally.abortedCommands));
-    std::printf("  cmd lifetime %.1f us (wait %.1f + flash %.1f + "
-                "wait %.1f)\n",
-                r.cmdStats.lifetime.mean(),
-                r.cmdStats.waitBefore.mean(),
-                r.cmdStats.flashTime.mean(),
-                r.cmdStats.waitAfter.mean());
+    // One bundle per workload, shared read-only across all runs.
+    std::vector<std::unique_ptr<WorkloadBundle>> bundles;
+    for (const auto &w : workloads)
+        bundles.push_back(makeBundle(graph::workload(w),
+                                     rc.system.flash, model, nodes));
+
+    const std::size_t nw = workloads.size();
+    const std::size_t total = kinds.size() * nw;
+
+    std::vector<RunResult> results;
+    if (total == 1) {
+        results.push_back(
+            runPlatform(configured(kinds[0]), rc, *bundles[0]));
+    } else {
+        sim::SimExecutor ex;
+        std::printf("bgnsim: %zu-run grid on %u worker(s)\n", total,
+                    ex.jobs());
+        results = ex.map<RunResult>(total, [&](std::size_t i) {
+            return runPlatform(configured(kinds[i / nw]), rc,
+                               *bundles[i % nw]);
+        });
+    }
+
+    bool ok = true;
+    for (std::size_t i = 0; i < total; ++i) {
+        const RunResult &r = results[i];
+        const WorkloadBundle &b = *bundles[i % nw];
+        ok = ok && r.ok;
+        std::printf("bgnsim: %s on %s (%u nodes, avg degree %.0f, "
+                    "%u-dim features)\n",
+                    r.platform.c_str(), b.name.c_str(),
+                    b.graph.numNodes(), b.graph.avgDegree(),
+                    b.features.dim());
+        std::printf("%s\n", summaryLine(r).c_str());
+        std::printf("  prep %.2f ms | die util %.3f | channel util "
+                    "%.3f | core util %.3f\n",
+                    sim::toMillis(r.prepTime), r.dieUtil,
+                    r.channelUtil, r.coreUtil);
+        std::printf("  flash reads %llu | channel %.1f MB | PCIe "
+                    "%.1f MB | aborted %llu\n",
+                    static_cast<unsigned long long>(
+                        r.tally.flashReads),
+                    r.tally.channelBytes / 1048576.0,
+                    r.tally.pcieBytes / 1048576.0,
+                    static_cast<unsigned long long>(
+                        r.tally.abortedCommands));
+        std::printf("  cmd lifetime %.1f us (wait %.1f + flash %.1f "
+                    "+ wait %.1f)\n",
+                    r.cmdStats.lifetime.mean(),
+                    r.cmdStats.waitBefore.mean(),
+                    r.cmdStats.flashTime.mean(),
+                    r.cmdStats.waitAfter.mean());
+    }
 
     if (!csv_path.empty()) {
         bool fresh = !std::ifstream(csv_path).good();
         std::ofstream out(csv_path, std::ios::app);
         if (fresh)
             writeCsvHeader(out);
-        writeCsvRow(out, r);
-        std::printf("  appended CSV row to %s\n", csv_path.c_str());
+        for (const RunResult &r : results)
+            writeCsvRow(out, r);
+        std::printf("  appended %zu CSV row(s) to %s\n", results.size(),
+                    csv_path.c_str());
     }
-    return r.ok ? 0 : 1;
+    return ok ? 0 : 1;
 }
