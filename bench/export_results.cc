@@ -29,8 +29,7 @@ main(int argc, char **argv)
     parseJobs(argc, argv);
     std::filesystem::create_directories("results");
 
-    Stopwatch total;
-    double fig14_s = 0, sec7e_s = 0;
+    TimingLog timing("export_results");
 
     {
         Stopwatch sw;
@@ -47,7 +46,7 @@ main(int argc, char **argv)
             platforms::writeSeriesCsv(series, r);
             std::printf("%s\n", platforms::summaryLine(r).c_str());
         }
-        fig14_s = sw.seconds();
+        timing.section("fig14_grid", sw.seconds());
     }
 
     {
@@ -61,23 +60,10 @@ main(int argc, char **argv)
             kinds.push_back(k);
         for (const RunResult &r : runGrid(kinds, workloadNames(), rc))
             platforms::writeCsvRow(runs, r);
-        sec7e_s = sw.seconds();
+        timing.section("sec7e_grid", sw.seconds());
     }
 
-    {
-        std::ofstream timing("results/bench_timing.json");
-        timing << "{\n"
-               << "  \"jobs\": " << sim::SimExecutor::defaultJobs()
-               << ",\n"
-               << "  \"sections\": [\n"
-               << "    {\"name\": \"fig14_grid\", \"seconds\": "
-               << fig14_s << "},\n"
-               << "    {\"name\": \"sec7e_grid\", \"seconds\": "
-               << sec7e_s << "}\n"
-               << "  ],\n"
-               << "  \"total_seconds\": " << total.seconds() << "\n"
-               << "}\n";
-    }
+    timing.write();
 
     std::printf("\nWrote results/fig14_runs.csv, "
                 "results/fig15_series.csv, results/sec7e_runs.csv, "

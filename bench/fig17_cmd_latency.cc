@@ -37,8 +37,8 @@ main()
         std::printf("%-10s %12.2f %12.2f %12.2f %12.2f %10.1f %10.1f "
                     "%10llu\n",
                     p.name.c_str(), wb, fl, wa, lt,
-                    r.cmdStats.lifetimeHist.quantile(0.95),
-                    r.cmdStats.lifetimeHist.quantile(0.99),
+                    r.cmdStats.lifetimeHist.percentile(95),
+                    r.cmdStats.lifetimeHist.percentile(99),
                     static_cast<unsigned long long>(
                         r.cmdStats.lifetime.count()));
         if (kind == PlatformKind::BG1)

@@ -1,5 +1,7 @@
 #include "graph/dataset.h"
 
+#include <cctype>
+
 #include "sim/log.h"
 
 namespace beacongnn::graph {
@@ -31,6 +33,35 @@ workload(const std::string &name)
         if (w.name == name)
             return w;
     sim::fatal("unknown workload: " + name);
+}
+
+const WorkloadSpec *
+findWorkload(const std::string &name)
+{
+    auto lower = [](const std::string &s) {
+        std::string out;
+        for (char c : s)
+            out.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c))));
+        return out;
+    };
+    std::string want = lower(name);
+    for (const auto &w : workloads())
+        if (lower(w.name) == want)
+            return &w;
+    return nullptr;
+}
+
+std::string
+workloadNameList()
+{
+    std::string out;
+    for (const auto &w : workloads()) {
+        if (!out.empty())
+            out += ", ";
+        out += w.name;
+    }
+    return out;
 }
 
 } // namespace beacongnn::graph

@@ -55,6 +55,12 @@ const std::vector<WorkloadSpec> &workloads();
 /** Lookup by name; fatal() on unknown names. */
 const WorkloadSpec &workload(const std::string &name);
 
+/** Lookup by name (case-insensitive); nullptr on unknown names. */
+const WorkloadSpec *findWorkload(const std::string &name);
+
+/** All workload names, comma-separated (for CLI messages). */
+std::string workloadNameList();
+
 } // namespace beacongnn::graph
 
 #endif // BEACONGNN_GRAPH_DATASET_H

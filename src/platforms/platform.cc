@@ -1,5 +1,7 @@
 #include "platforms/platform.h"
 
+#include <cctype>
+
 #include "sim/log.h"
 
 namespace beacongnn::platforms {
@@ -96,6 +98,46 @@ platformName(PlatformKind kind)
       case PlatformKind::BG2: return "BG-2";
     }
     sim::panic("unknown platform kind");
+}
+
+namespace {
+
+/** Lowercase with '-'/'_' stripped, so "BG-2" == "bg2". */
+std::string
+canonical(const std::string &name)
+{
+    std::string c;
+    for (char ch : name) {
+        if (ch == '-' || ch == '_')
+            continue;
+        c.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(ch))));
+    }
+    return c;
+}
+
+} // namespace
+
+std::optional<PlatformKind>
+findPlatform(const std::string &name)
+{
+    std::string want = canonical(name);
+    for (auto kind : allPlatforms())
+        if (canonical(platformName(kind)) == want)
+            return kind;
+    return std::nullopt;
+}
+
+std::string
+platformNameList()
+{
+    std::string out;
+    for (auto kind : allPlatforms()) {
+        if (!out.empty())
+            out += ", ";
+        out += platformName(kind);
+    }
+    return out;
 }
 
 } // namespace beacongnn::platforms

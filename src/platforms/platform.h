@@ -8,6 +8,7 @@
 #ifndef BEACONGNN_PLATFORMS_PLATFORM_H
 #define BEACONGNN_PLATFORMS_PLATFORM_H
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,15 @@ const std::vector<PlatformKind> &bgLadder();
 
 /** Short display name ("BG-DGSP"). */
 std::string platformName(PlatformKind kind);
+
+/**
+ * Lookup by display name, tolerant of case and punctuation ("bg2",
+ * "BG2" and "BG-2" all resolve). Empty when the name is unknown.
+ */
+std::optional<PlatformKind> findPlatform(const std::string &name);
+
+/** All platform display names, comma-separated (for CLI messages). */
+std::string platformNameList();
 
 } // namespace beacongnn::platforms
 

@@ -46,99 +46,142 @@ makeBundle(const graph::WorkloadSpec &spec,
     return bundle;
 }
 
-RunResult
-runPlatform(const PlatformConfig &platform, const RunConfig &run,
-            const WorkloadBundle &bundle)
+/** The component tree of one open platform run. */
+struct PlatformSession::Impl
 {
-    RunResult res;
-    res.platform = platform.name;
-    res.workload = bundle.name;
+    PlatformConfig platform;
+    RunConfig run;
+    const WorkloadBundle &bundle;
 
     sim::EventQueue queue;
-    flash::FlashBackend backend(run.system.flash, run.traceUtilization);
-    ssd::Firmware fw(run.system);
-    // Mirror the bundle's block reservation in this run's FTL so the
-    // isolation invariants hold during the run.
-    fw.ftl().reserveBlocks(bundle.layout.blocks.size());
+    flash::FlashBackend backend;
+    ssd::Firmware fw;
+    accel::Accelerator accelerator;
+    sim::Bus accelBus{"accel"};
+    engines::GnnEngine engine;
 
-    accel::Accelerator accelerator(platform.ssdCompute
-                                       ? accel::ssdAcceleratorConfig()
-                                       : accel::discreteTpuConfig());
-    sim::Bus accel_bus("accel");
+    RunResult res;
+    sim::Tick prepFree = 0;
+    sim::Tick lastComputeEnd = 0;
+    std::uint32_t batches = 0;
+    std::uint64_t accelMacs = 0;
+    std::uint64_t accelSram = 0;
 
-    engines::GnnEngine engine(queue, backend, fw, bundle.layout,
-                              bundle.graph, bundle.model, platform.flags,
-                              *bundle.source);
-
-    sim::Pcg32 rng(run.targetSeed, 0xACE5);
-    const graph::NodeId n_nodes = bundle.graph.numNodes();
-
-    sim::Tick prep_start = 0;
-    sim::Tick last_compute_end = 0;
-    std::uint64_t accel_macs = 0;
-    std::uint64_t accel_sram = 0;
-
-    for (std::uint32_t batch = 0; batch < run.batches; ++batch) {
-        std::vector<graph::NodeId> targets(run.batchSize);
-        for (auto &t : targets)
-            t = rng.below(n_nodes);
-
-        engines::PrepResult pr;
-        bool got = false;
-        engine.prepare(prep_start, batch, targets,
-                       [&](engines::PrepResult &&r) {
-                           pr = std::move(r);
-                           got = true;
-                       });
-        queue.run();
-        if (!got)
-            sim::panic("runPlatform: prep did not complete");
-        if (!pr.ok)
-            res.ok = false;
-
-        // Compute of this batch overlaps the next batch's prep.
-        gnn::ComputeWorkload w =
-            gnn::measureCompute(pr.subgraph, bundle.model);
-        accel::ComputeEstimate est = accelerator.estimate(w);
-        sim::Grant cg = accel_bus.acquire(pr.finish, est.total());
-        if (platform.ssdCompute && pr.tally.featureBytes > 0 &&
-            !platform.flags.bypassDram) {
-            // Staged features stream DRAM -> accelerator SRAM (the
-            // §VIII direct flash->SRAM option skips both DRAM legs).
-            fw.dram().acquire(cg.start, pr.tally.featureBytes);
-        }
-        last_compute_end = cg.end;
-        accel_macs += est.macs;
-        accel_sram += est.sramBytes;
-
-        // Merge statistics.
-        res.cmdStats.waitBefore = merged(res.cmdStats.waitBefore,
-                                         pr.cmdStats.waitBefore);
-        res.cmdStats.flashTime =
-            merged(res.cmdStats.flashTime, pr.cmdStats.flashTime);
-        res.cmdStats.waitAfter =
-            merged(res.cmdStats.waitAfter, pr.cmdStats.waitAfter);
-        res.cmdStats.lifetime =
-            merged(res.cmdStats.lifetime, pr.cmdStats.lifetime);
-        res.cmdStats.lifetimeHist.merge(pr.cmdStats.lifetimeHist);
-
-        res.tally.flashReads += pr.tally.flashReads;
-        res.tally.channelBytes += pr.tally.channelBytes;
-        res.tally.dramBytes += pr.tally.dramBytes;
-        res.tally.pcieBytes += pr.tally.pcieBytes;
-        res.tally.hostCpuBusy += pr.tally.hostCpuBusy;
-        res.tally.featureBytes += pr.tally.featureBytes;
-        res.tally.abortedCommands += pr.tally.abortedCommands;
-
-        res.hops = pr.hops;
-        res.lastBatchStart = pr.start;
-        res.lastSubgraph = std::move(pr.subgraph);
-        res.targets += targets.size();
-        prep_start = pr.finish;
-        res.prepTime = pr.finish;
+    Impl(const PlatformConfig &p, const RunConfig &r,
+         const WorkloadBundle &b)
+        : platform(p), run(r), bundle(b),
+          backend(r.system.flash, r.traceUtilization), fw(r.system),
+          accelerator(p.ssdCompute ? accel::ssdAcceleratorConfig()
+                                   : accel::discreteTpuConfig()),
+          engine(queue, backend, fw, b.layout, b.graph, b.model,
+                 p.flags, *b.source)
+    {
+        // Mirror the bundle's block reservation in this run's FTL so
+        // the isolation invariants hold during the run.
+        fw.ftl().reserveBlocks(bundle.layout.blocks.size());
+        res.platform = platform.name;
+        res.workload = bundle.name;
     }
+};
 
-    res.totalTime = std::max(prep_start, last_compute_end);
+PlatformSession::PlatformSession(const PlatformConfig &platform,
+                                 const RunConfig &run,
+                                 const WorkloadBundle &bundle)
+    : impl(std::make_unique<Impl>(platform, run, bundle))
+{
+}
+
+PlatformSession::~PlatformSession() = default;
+
+sim::Tick
+PlatformSession::prepFree() const
+{
+    return impl->prepFree;
+}
+
+std::uint32_t
+PlatformSession::batches() const
+{
+    return impl->batches;
+}
+
+BatchService
+PlatformSession::runBatch(sim::Tick ready,
+                          std::span<const graph::NodeId> targets)
+{
+    Impl &s = *impl;
+    BatchService svc;
+
+    engines::PrepResult pr;
+    bool got = false;
+    s.engine.prepare(std::max(ready, s.prepFree), s.batches, targets,
+                     [&](engines::PrepResult &&r) {
+                         pr = std::move(r);
+                         got = true;
+                     });
+    s.queue.run();
+    if (!got)
+        sim::panic("runBatch: prep did not complete");
+    if (!pr.ok)
+        s.res.ok = false;
+    svc.ok = pr.ok;
+    svc.prepStart = pr.start;
+    svc.prepFinish = pr.finish;
+
+    // Compute of this batch overlaps the next batch's prep.
+    gnn::ComputeWorkload w =
+        gnn::measureCompute(pr.subgraph, s.bundle.model);
+    accel::ComputeEstimate est = s.accelerator.estimate(w);
+    sim::Grant cg = s.accelBus.acquire(pr.finish, est.total());
+    if (s.platform.ssdCompute && pr.tally.featureBytes > 0 &&
+        !s.platform.flags.bypassDram) {
+        // Staged features stream DRAM -> accelerator SRAM (the
+        // §VIII direct flash->SRAM option skips both DRAM legs).
+        s.fw.dram().acquire(cg.start, pr.tally.featureBytes);
+    }
+    svc.computeStart = cg.start;
+    svc.computeEnd = cg.end;
+    s.lastComputeEnd = cg.end;
+    s.accelMacs += est.macs;
+    s.accelSram += est.sramBytes;
+
+    // Merge statistics.
+    RunResult &res = s.res;
+    res.cmdStats.waitBefore =
+        merged(res.cmdStats.waitBefore, pr.cmdStats.waitBefore);
+    res.cmdStats.flashTime =
+        merged(res.cmdStats.flashTime, pr.cmdStats.flashTime);
+    res.cmdStats.waitAfter =
+        merged(res.cmdStats.waitAfter, pr.cmdStats.waitAfter);
+    res.cmdStats.lifetime =
+        merged(res.cmdStats.lifetime, pr.cmdStats.lifetime);
+    res.cmdStats.lifetimeHist.merge(pr.cmdStats.lifetimeHist);
+
+    res.tally.flashReads += pr.tally.flashReads;
+    res.tally.channelBytes += pr.tally.channelBytes;
+    res.tally.dramBytes += pr.tally.dramBytes;
+    res.tally.pcieBytes += pr.tally.pcieBytes;
+    res.tally.hostCpuBusy += pr.tally.hostCpuBusy;
+    res.tally.featureBytes += pr.tally.featureBytes;
+    res.tally.abortedCommands += pr.tally.abortedCommands;
+
+    res.hops = pr.hops;
+    res.lastBatchStart = pr.start;
+    res.lastSubgraph = std::move(pr.subgraph);
+    res.targets += targets.size();
+    s.prepFree = pr.finish;
+    res.prepTime = pr.finish;
+    ++s.batches;
+    return svc;
+}
+
+RunResult
+PlatformSession::finish()
+{
+    Impl &s = *impl;
+    RunResult res = std::move(s.res);
+
+    res.totalTime = std::max(s.prepFree, s.lastComputeEnd);
     res.throughput = res.totalTime == 0
                          ? 0.0
                          : static_cast<double>(res.targets) /
@@ -146,46 +189,64 @@ runPlatform(const PlatformConfig &platform, const RunConfig &run,
 
     // Resource utilizations over the run.
     sim::Tick horizon = std::max<sim::Tick>(1, res.totalTime);
-    res.dieUtil = static_cast<double>(backend.totalDieBusy()) /
-                  (static_cast<double>(horizon) * backend.dieCount());
+    res.dieUtil = static_cast<double>(s.backend.totalDieBusy()) /
+                  (static_cast<double>(horizon) * s.backend.dieCount());
     res.channelUtil =
-        static_cast<double>(backend.totalChannelBusy()) /
-        (static_cast<double>(horizon) * backend.channelCount());
-    res.coreUtil = fw.coreUtilization(horizon);
-    res.dramUtil = fw.dram().utilization(horizon);
-    res.pcieUtil = fw.pcie().utilization(horizon);
-    res.accelBusy = accel_bus.busyTime();
+        static_cast<double>(s.backend.totalChannelBusy()) /
+        (static_cast<double>(horizon) * s.backend.channelCount());
+    res.coreUtil = s.fw.coreUtilization(horizon);
+    res.dramUtil = s.fw.dram().utilization(horizon);
+    res.pcieUtil = s.fw.pcie().utilization(horizon);
+    res.accelBusy = s.accelBus.busyTime();
     res.hostBusy = res.tally.hostCpuBusy;
 
-    if (run.traceUtilization) {
+    if (s.run.traceUtilization) {
         std::vector<const sim::IntervalTrace *> die_traces;
-        for (unsigned d = 0; d < backend.dieCount(); ++d)
-            die_traces.push_back(&backend.die(d).intervals());
+        for (unsigned d = 0; d < s.backend.dieCount(); ++d)
+            die_traces.push_back(&s.backend.die(d).intervals());
         res.dieSeries = sim::activeSeries(die_traces, horizon,
-                                          run.utilizationBuckets);
+                                          s.run.utilizationBuckets);
         std::vector<const sim::IntervalTrace *> ch_traces;
-        for (unsigned c = 0; c < backend.channelCount(); ++c)
-            ch_traces.push_back(&backend.channel(c).intervals());
+        for (unsigned c = 0; c < s.backend.channelCount(); ++c)
+            ch_traces.push_back(&s.backend.channel(c).intervals());
         res.channelSeries = sim::activeSeries(ch_traces, horizon,
-                                              run.utilizationBuckets);
+                                              s.run.utilizationBuckets);
     }
 
     // Energy accounting.
     energy::EnergyInputs in;
     in.tally = res.tally;
-    in.coreBusy = fw.coreBusyTime();
-    in.accelMacs = accel_macs;
-    in.accelSramBytes = accel_sram;
-    in.engineCommands = (platform.flags.sampling ==
+    in.coreBusy = s.fw.coreBusyTime();
+    in.accelMacs = s.accelMacs;
+    in.accelSramBytes = s.accelSram;
+    in.engineCommands = (s.platform.flags.sampling ==
                          engines::SamplingLoc::Die)
                             ? res.tally.flashReads
                             : 0;
     in.duration = res.totalTime;
     res.energy = energy::account(energy::EnergyConstants{}, in);
-    res.avgPowerW = res.totalTime == 0
-                        ? 0.0
-                        : res.energy.total() / sim::toSeconds(res.totalTime);
+    res.avgPowerW = res.totalTime == 0 ? 0.0
+                                       : res.energy.total() /
+                                             sim::toSeconds(res.totalTime);
     return res;
+}
+
+RunResult
+runPlatform(const PlatformConfig &platform, const RunConfig &run,
+            const WorkloadBundle &bundle)
+{
+    PlatformSession session(platform, run, bundle);
+
+    sim::Pcg32 rng(run.targetSeed, 0xACE5);
+    const graph::NodeId n_nodes = bundle.graph.numNodes();
+
+    for (std::uint32_t batch = 0; batch < run.batches; ++batch) {
+        std::vector<graph::NodeId> targets(run.batchSize);
+        for (auto &t : targets)
+            t = rng.below(n_nodes);
+        session.runBatch(session.prepFree(), targets);
+    }
+    return session.finish();
 }
 
 } // namespace beacongnn::platforms

@@ -16,6 +16,7 @@
 #define BEACONGNN_PLATFORMS_RUNNER_H
 
 #include <memory>
+#include <span>
 #include <string>
 
 #include "accel/accelerator.h"
@@ -107,6 +108,57 @@ struct RunResult
     double avgPowerW = 0;
 
     gnn::Subgraph lastSubgraph; ///< For functional validation.
+};
+
+/** Timing of one mini-batch's trip through the platform pipeline. */
+struct BatchService
+{
+    bool ok = true;
+    sim::Tick prepStart = 0;    ///< When data preparation began.
+    sim::Tick prepFinish = 0;   ///< Prep stream free for the next batch.
+    sim::Tick computeStart = 0; ///< Accelerator grant start.
+    sim::Tick computeEnd = 0;   ///< Result available to the caller.
+};
+
+/**
+ * An instantiated platform held open across mini-batches: the full
+ * component tree (event queue, flash backend, firmware, accelerator,
+ * GNN engine) of one run, exposing per-batch execution so callers
+ * can feed batches one at a time and observe each batch's service
+ * timing. runPlatform() drives it over a fixed offline grid; the
+ * online serving layer (src/serve) drives it from a micro-batching
+ * scheduler.
+ *
+ * Batches are prepared serially — the prep stream is a single
+ * pipeline — and compute of batch i overlaps prep of batch i+1
+ * exactly as in §VI-D. All cross-batch statistics accumulate inside
+ * the session; finish() folds them into a RunResult.
+ */
+class PlatformSession
+{
+  public:
+    PlatformSession(const PlatformConfig &platform, const RunConfig &run,
+                    const WorkloadBundle &bundle);
+    ~PlatformSession();
+    PlatformSession(const PlatformSession &) = delete;
+    PlatformSession &operator=(const PlatformSession &) = delete;
+
+    /** Earliest tick the (serial) prep stream accepts a new batch. */
+    sim::Tick prepFree() const;
+
+    /** Run one mini-batch whose prep starts at or after @p ready. */
+    BatchService runBatch(sim::Tick ready,
+                          std::span<const graph::NodeId> targets);
+
+    /** Mini-batches run so far. */
+    std::uint32_t batches() const;
+
+    /** Fold the accumulated statistics into a RunResult. */
+    RunResult finish();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
 };
 
 /** Execute @p batches mini-batches of @p batchSize targets. */

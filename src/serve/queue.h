@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Admission queue with per-tenant QoS classes.
+ *
+ * Strict priority across classes (Interactive > Standard > Batch) and
+ * FIFO within a class. The batching timeout, however, is anchored on
+ * the oldest queued request of *any* class, so low-priority work ages
+ * the queue and cannot starve forever behind a full Interactive
+ * stream: once its deadline fires the dispatched batch still prefers
+ * high-priority requests, but a dispatch does happen.
+ */
+
+#ifndef BEACONGNN_SERVE_QUEUE_H
+#define BEACONGNN_SERVE_QUEUE_H
+
+#include <array>
+#include <cstddef>
+#include <deque>
+
+#include "serve/request.h"
+#include "sim/log.h"
+
+namespace beacongnn::serve {
+
+class AdmissionQueue
+{
+  public:
+    /** Enqueue in FIFO position of the request's class. */
+    void
+    push(const Request &r)
+    {
+        classes[static_cast<std::size_t>(r.qos)].push_back(r);
+        ++count;
+        peak = std::max(peak, count);
+    }
+
+    /** Dequeue: highest-priority nonempty class, FIFO within it. */
+    Request
+    pop()
+    {
+        for (auto &q : classes) {
+            if (q.empty())
+                continue;
+            Request r = q.front();
+            q.pop_front();
+            --count;
+            return r;
+        }
+        sim::panic("AdmissionQueue::pop on empty queue");
+    }
+
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+
+    /** Deepest backlog seen so far (saturation indicator). */
+    std::size_t peakDepth() const { return peak; }
+
+    /** Earliest arrival among queued requests, any class. */
+    sim::Tick
+    oldestArrival() const
+    {
+        sim::Tick oldest = sim::kTickMax;
+        for (const auto &q : classes)
+            if (!q.empty())
+                oldest = std::min(oldest, q.front().arrival);
+        return oldest;
+    }
+
+  private:
+    std::array<std::deque<Request>, kQosClasses> classes;
+    std::size_t count = 0;
+    std::size_t peak = 0;
+};
+
+} // namespace beacongnn::serve
+
+#endif // BEACONGNN_SERVE_QUEUE_H

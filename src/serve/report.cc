@@ -1,0 +1,85 @@
+#include "serve/report.h"
+
+#include <cstdio>
+
+namespace beacongnn::serve {
+
+void
+printRateHeader()
+{
+    std::printf("%10s %10s %9s %9s %9s %9s %8s %7s %6s %4s\n",
+                "rate(r/s)", "thru(r/s)", "mean(ms)", "p50(ms)",
+                "p95(ms)", "p99(ms)", "viol(%)", "batch", "peakQ",
+                "sat");
+}
+
+void
+printRateRow(const ServeResult &r)
+{
+    std::printf("%10.0f %10.0f %9.2f %9.2f %9.2f %9.2f %8.1f %7.1f "
+                "%6zu %4s\n",
+                r.offeredRate, r.achievedRate, r.totalUs.mean() / 1e3,
+                r.p(50) / 1e3, r.p(95) / 1e3, r.p(99) / 1e3,
+                r.violationPct(), r.meanBatchSize, r.peakQueueDepth,
+                r.saturated() ? "*" : "");
+}
+
+void
+printClassBreakdown(const ServeResult &r)
+{
+    for (std::size_t q = 0; q < kQosClasses; ++q) {
+        const ClassReport &c = r.perClass[q];
+        if (c.requests == 0)
+            continue;
+        std::printf("    %-11s %6llu req | mean %8.2f ms | max %8.2f "
+                    "ms | SLO viol %5.1f%%\n",
+                    qosName(static_cast<QosClass>(q)),
+                    static_cast<unsigned long long>(c.requests),
+                    c.totalUs.mean() / 1e3, c.totalUs.max() / 1e3,
+                    c.violationPct());
+    }
+}
+
+double
+printSaturation(const std::vector<ServeResult> &results)
+{
+    double best = 0;
+    for (const ServeResult &r : results)
+        if (!r.saturated())
+            best = std::max(best, r.offeredRate);
+    if (results.empty())
+        return 0;
+    if (best > 0)
+        std::printf("  -> %s on %s sustains up to %.0f req/s\n",
+                    results.front().platform.c_str(),
+                    results.front().workload.c_str(), best);
+    else
+        std::printf("  -> %s on %s saturates at every tested rate\n",
+                    results.front().platform.c_str(),
+                    results.front().workload.c_str());
+    return best;
+}
+
+void
+writeServeCsvHeader(std::ostream &os)
+{
+    os << "platform,workload,offered_rps,achieved_rps,requests,"
+          "batches,mean_batch,peak_queue,makespan_ms,queue_us,prep_us,"
+          "compute_us,mean_us,p50_us,p95_us,p99_us,viol_pct,"
+          "saturated\n";
+}
+
+void
+writeServeCsvRow(std::ostream &os, const ServeResult &r)
+{
+    os << r.platform << ',' << r.workload << ',' << r.offeredRate
+       << ',' << r.achievedRate << ',' << r.requests << ','
+       << r.batches << ',' << r.meanBatchSize << ','
+       << r.peakQueueDepth << ',' << sim::toMillis(r.makespan) << ','
+       << r.queueingUs.mean() << ',' << r.prepUs.mean() << ','
+       << r.computeUs.mean() << ',' << r.totalUs.mean() << ','
+       << r.p(50) << ',' << r.p(95) << ',' << r.p(99) << ','
+       << r.violationPct() << ',' << (r.saturated() ? 1 : 0) << '\n';
+}
+
+} // namespace beacongnn::serve

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reporting for serving experiments: the per-rate latency/SLO table
+ * shared by the bgnserve CLI and bench/serve_latency, plus CSV rows
+ * for external plotting of latency-vs-load curves.
+ */
+
+#ifndef BEACONGNN_SERVE_REPORT_H
+#define BEACONGNN_SERVE_REPORT_H
+
+#include <ostream>
+#include <vector>
+
+#include "serve/serve.h"
+
+namespace beacongnn::serve {
+
+/** Print the per-rate table header. */
+void printRateHeader();
+
+/** Print one ServeResult as a table row (latencies in ms). */
+void printRateRow(const ServeResult &r);
+
+/** Print the per-QoS-class latency/SLO breakdown of one result. */
+void printClassBreakdown(const ServeResult &r);
+
+/**
+ * Print "<platform> on <workload> sustains up to N req/s": the
+ * highest offered rate in @p results (all same platform/workload)
+ * that did not saturate. Returns that rate (0 when every point
+ * saturated).
+ */
+double printSaturation(const std::vector<ServeResult> &results);
+
+/** Write the serve CSV header row. */
+void writeServeCsvHeader(std::ostream &os);
+
+/** Write one ServeResult as a CSV row. */
+void writeServeCsvRow(std::ostream &os, const ServeResult &r);
+
+} // namespace beacongnn::serve
+
+#endif // BEACONGNN_SERVE_REPORT_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Online inference requests and their measured outcomes.
+ *
+ * The serving model is open-loop: every request has an arrival time
+ * drawn from a configured arrival process, independent of how fast
+ * the platform drains the queue — exactly the regime where queueing
+ * delay and tail latency appear (and the regime the offline bench
+ * grid cannot express).
+ */
+
+#ifndef BEACONGNN_SERVE_REQUEST_H
+#define BEACONGNN_SERVE_REQUEST_H
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "sim/types.h"
+
+namespace beacongnn::serve {
+
+/**
+ * Tenant QoS classes, in strict priority order: the scheduler fills
+ * micro-batches from Interactive first, and SLO targets tighten with
+ * priority.
+ */
+enum class QosClass : std::uint8_t
+{
+    Interactive = 0, ///< User-facing recommendation / fraud lookup.
+    Standard = 1,    ///< Default API traffic.
+    Batch = 2,       ///< Background / analytics traffic.
+};
+
+inline constexpr std::size_t kQosClasses = 3;
+
+/** Display name ("interactive"). */
+const char *qosName(QosClass q);
+
+/** One inference request: infer the embedding of one target node. */
+struct Request
+{
+    std::uint64_t id = 0;      ///< Sequential in arrival order.
+    std::uint32_t tenant = 0;  ///< Originating tenant.
+    QosClass qos = QosClass::Standard;
+    graph::NodeId target = 0;  ///< Node whose embedding is requested.
+    sim::Tick arrival = 0;     ///< Open-loop arrival time.
+};
+
+/** Per-request latency breakdown recorded by the serve driver. */
+struct RequestOutcome
+{
+    std::uint64_t id = 0;
+    QosClass qos = QosClass::Standard;
+    sim::Tick arrival = 0;   ///< Request entered the admission queue.
+    sim::Tick dispatch = 0;  ///< Its micro-batch began data prep.
+    sim::Tick prepDone = 0;  ///< Data preparation finished.
+    sim::Tick done = 0;      ///< Compute drained; response ready.
+
+    sim::Tick queueing() const { return dispatch - arrival; }
+    sim::Tick prep() const { return prepDone - dispatch; }
+    sim::Tick compute() const { return done - prepDone; }
+    sim::Tick total() const { return done - arrival; }
+};
+
+} // namespace beacongnn::serve
+
+#endif // BEACONGNN_SERVE_REQUEST_H

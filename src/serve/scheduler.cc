@@ -1,0 +1,60 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+
+namespace beacongnn::serve {
+
+MicroBatcher::MicroBatcher(const BatchPolicy &p,
+                           std::vector<Request> arrivals)
+    : policy(p), pending(std::move(arrivals))
+{
+    if (policy.maxBatch == 0)
+        policy.maxBatch = 1;
+}
+
+void
+MicroBatcher::admitUpTo(sim::Tick t)
+{
+    while (cursor < pending.size() && pending[cursor].arrival <= t)
+        queue.push(pending[cursor++]);
+}
+
+bool
+MicroBatcher::next(sim::Tick server_free, Dispatch &out)
+{
+    if (queue.empty() && cursor >= pending.size())
+        return false;
+
+    // Decision time: when the server frees, or — if nothing is queued
+    // by then — when the next request arrives.
+    sim::Tick t = server_free;
+    admitUpTo(t);
+    if (queue.empty()) {
+        t = pending[cursor].arrival;
+        admitUpTo(t);
+    }
+
+    // The oldest queued request bounds how long we may keep batching.
+    sim::Tick deadline =
+        std::max(t, queue.oldestArrival() + policy.timeout);
+
+    // Wait for arrivals to fill the batch, but never past the
+    // deadline: if the maxBatch-th request arrives first we dispatch
+    // at its arrival, otherwise at the deadline with what we have.
+    while (queue.size() < policy.maxBatch && cursor < pending.size() &&
+           pending[cursor].arrival <= deadline) {
+        t = std::max(t, pending[cursor].arrival);
+        queue.push(pending[cursor++]);
+    }
+
+    out.at = queue.size() >= policy.maxBatch ? t : deadline;
+    out.batch.clear();
+    std::uint32_t take = static_cast<std::uint32_t>(
+        std::min<std::size_t>(queue.size(), policy.maxBatch));
+    out.batch.reserve(take);
+    for (std::uint32_t i = 0; i < take; ++i)
+        out.batch.push_back(queue.pop());
+    return true;
+}
+
+} // namespace beacongnn::serve

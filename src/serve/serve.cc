@@ -1,0 +1,79 @@
+#include "serve/serve.h"
+
+#include <algorithm>
+
+namespace beacongnn::serve {
+
+ServeResult
+serveWorkload(const platforms::PlatformConfig &platform,
+              const platforms::RunConfig &run,
+              const platforms::WorkloadBundle &bundle,
+              const ServeConfig &cfg,
+              std::vector<RequestOutcome> *outcomes)
+{
+    ServeResult res;
+    res.platform = platform.name;
+    res.workload = bundle.name;
+    res.offeredRate = cfg.arrivals.ratePerSec;
+    res.requests = cfg.arrivals.requests;
+
+    MicroBatcher batcher(
+        cfg.policy,
+        generateArrivals(cfg.arrivals, bundle.graph.numNodes()));
+    platforms::PlatformSession session(platform, run, bundle);
+
+    std::vector<graph::NodeId> targets;
+    Dispatch d;
+    while (batcher.next(session.prepFree(), d)) {
+        targets.clear();
+        for (const Request &r : d.batch)
+            targets.push_back(r.target);
+
+        platforms::BatchService svc = session.runBatch(d.at, targets);
+        if (!svc.ok)
+            res.ok = false;
+
+        for (const Request &r : d.batch) {
+            RequestOutcome o;
+            o.id = r.id;
+            o.qos = r.qos;
+            o.arrival = r.arrival;
+            o.dispatch = svc.prepStart;
+            o.prepDone = svc.prepFinish;
+            o.done = svc.computeEnd;
+
+            res.queueingUs.add(sim::toMicros(o.queueing()));
+            res.prepUs.add(sim::toMicros(o.prep()));
+            res.computeUs.add(sim::toMicros(o.compute()));
+            double total_us = sim::toMicros(o.total());
+            res.totalUs.add(total_us);
+            res.latencyUs.add(total_us);
+
+            ClassReport &c =
+                res.perClass[static_cast<std::size_t>(r.qos)];
+            ++c.requests;
+            c.totalUs.add(total_us);
+            if (o.total() >
+                cfg.slo.target[static_cast<std::size_t>(r.qos)])
+                ++c.violations;
+
+            if (outcomes)
+                outcomes->push_back(o);
+        }
+        res.makespan = std::max(res.makespan, svc.computeEnd);
+        ++res.batches;
+    }
+
+    res.meanBatchSize =
+        res.batches == 0 ? 0.0
+                         : static_cast<double>(res.requests) /
+                               static_cast<double>(res.batches);
+    res.peakQueueDepth = batcher.peakDepth();
+    res.achievedRate = res.makespan == 0
+                           ? 0.0
+                           : static_cast<double>(res.requests) /
+                                 sim::toSeconds(res.makespan);
+    return res;
+}
+
+} // namespace beacongnn::serve

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The online serving driver: wires an open-loop arrival stream and
+ * the micro-batching scheduler onto an open PlatformSession, records
+ * each request's queueing/prep/compute breakdown, and reports
+ * tail-latency percentiles and SLO-violation rates.
+ *
+ * Determinism: the arrival stream is a pure function of its config,
+ * the scheduler is a pure decision procedure, and the platform
+ * session is a pure function of (platform, run config, bundle) — so
+ * a ServeResult is byte-identical across repeated runs and across
+ * any worker count when sweep points run in parallel.
+ */
+
+#ifndef BEACONGNN_SERVE_SERVE_H
+#define BEACONGNN_SERVE_SERVE_H
+
+#include <array>
+#include <string>
+
+#include "platforms/runner.h"
+#include "serve/arrival.h"
+#include "serve/scheduler.h"
+
+namespace beacongnn::serve {
+
+/** Per-class latency SLO targets (total latency, arrival to done). */
+struct SloConfig
+{
+    std::array<sim::Tick, kQosClasses> target = {
+        sim::milliseconds(5),   // Interactive
+        sim::milliseconds(20),  // Standard
+        sim::milliseconds(100), // Batch
+    };
+};
+
+/** Everything one serving experiment needs besides the platform. */
+struct ServeConfig
+{
+    ArrivalConfig arrivals;
+    BatchPolicy policy;
+    SloConfig slo;
+};
+
+/** Latency/SLO tally of one QoS class. */
+struct ClassReport
+{
+    std::uint64_t requests = 0;
+    std::uint64_t violations = 0;
+    sim::Accumulator totalUs; ///< Total latency, microseconds.
+
+    double
+    violationPct() const
+    {
+        return requests == 0 ? 0.0
+                             : 100.0 * static_cast<double>(violations) /
+                                   static_cast<double>(requests);
+    }
+};
+
+/** Everything measured by one serving run. */
+struct ServeResult
+{
+    std::string platform;
+    std::string workload;
+    bool ok = true;
+
+    double offeredRate = 0;  ///< Configured arrival rate (req/s).
+    double achievedRate = 0; ///< Completions / makespan (req/s).
+    std::uint64_t requests = 0;
+    std::uint64_t batches = 0;
+    double meanBatchSize = 0;
+    std::size_t peakQueueDepth = 0;
+    sim::Tick makespan = 0; ///< Last completion time.
+
+    // Latency breakdown over all requests, microseconds.
+    sim::Accumulator queueingUs;
+    sim::Accumulator prepUs;
+    sim::Accumulator computeUs;
+    sim::Accumulator totalUs;
+    /** Total-latency distribution: 50 us buckets, ~400 ms span (the
+     *  percentile() overflow clamp covers saturated runs beyond it). */
+    sim::Histogram latencyUs{50.0, 8192};
+
+    std::array<ClassReport, kQosClasses> perClass;
+
+    /** Total-latency percentile in microseconds. */
+    double p(double pct) const { return latencyUs.percentile(pct); }
+
+    std::uint64_t
+    violations() const
+    {
+        std::uint64_t v = 0;
+        for (const auto &c : perClass)
+            v += c.violations;
+        return v;
+    }
+
+    double
+    violationPct() const
+    {
+        return requests == 0 ? 0.0
+                             : 100.0 * static_cast<double>(violations()) /
+                                   static_cast<double>(requests);
+    }
+
+    /**
+     * Open-loop saturation test: the platform kept up with the
+     * offered load iff it completed requests at (nearly) the rate
+     * they arrived. Under overload the queue grows without bound and
+     * the completion rate pins at the service capacity.
+     */
+    bool saturated() const { return achievedRate < 0.95 * offeredRate; }
+};
+
+/**
+ * Serve one open-loop request stream on one platform.
+ *
+ * @param outcomes Optional: receives the per-request breakdowns in
+ *                 completion order (batch by batch).
+ */
+ServeResult serveWorkload(const platforms::PlatformConfig &platform,
+                          const platforms::RunConfig &run,
+                          const platforms::WorkloadBundle &bundle,
+                          const ServeConfig &cfg,
+                          std::vector<RequestOutcome> *outcomes = nullptr);
+
+} // namespace beacongnn::serve
+
+#endif // BEACONGNN_SERVE_SERVE_H

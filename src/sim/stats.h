@@ -106,6 +106,45 @@ class Histogram
         acc = merged(acc, other.acc);
     }
 
+    /**
+     * Percentile estimate for @p p in [0, 100], linear within the
+     * owning bucket and clamped to the observed sample range.
+     *
+     * An empty histogram yields 0. The last bucket is the overflow
+     * bucket (it holds every sample >= its lower edge, however
+     * large), so when the target rank lands there the estimate
+     * interpolates between the bucket's lower edge and the observed
+     * maximum instead of pretending the bucket has `width` extent.
+     */
+    double
+    percentile(double p) const
+    {
+        if (acc.count() == 0)
+            return 0.0;
+        p = std::clamp(p, 0.0, 100.0);
+        double target = p / 100.0 * static_cast<double>(acc.count());
+        if (target <= 0.0)
+            return acc.min();
+        double seen = 0;
+        for (std::size_t i = 0; i < counts.size(); ++i) {
+            if (counts[i] == 0)
+                continue;
+            double next = seen + static_cast<double>(counts[i]);
+            if (next >= target) {
+                double lo = static_cast<double>(i) * width;
+                double frac =
+                    (target - seen) / static_cast<double>(counts[i]);
+                double hi = (i + 1 == counts.size())
+                                ? std::max(acc.max(), lo) // overflow
+                                : lo + width;
+                return std::clamp(lo + frac * (hi - lo), acc.min(),
+                                  acc.max());
+            }
+            seen = next;
+        }
+        return acc.max();
+    }
+
     /** Approximate quantile (linear within bucket). */
     double
     quantile(double q) const

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * bgnserve — online serving driver for the BeaconGNN simulator.
+ *
+ * Sweeps platform x workload x arrival-rate points of an open-loop
+ * serving experiment and prints, per (platform, workload), a
+ * latency-vs-load table with throughput, mean/p50/p95/p99 latency
+ * and SLO-violation rates, plus the saturation rate each platform
+ * sustains:
+ *
+ *   bgnserve --platform CC,BG2 --workload amazon \
+ *            --rates 500,1000,2000,4000 --requests 512 --seed 7 \
+ *            --max-batch 32 --timeout-us 200 --jobs 8
+ *
+ * Sweep points run in parallel on --jobs workers (BGN_JOBS env var /
+ * hardware cores by default); output is in deterministic sweep order
+ * and byte-identical across worker counts and repeated runs with the
+ * same seed.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/report.h"
+#include "serve/serve.h"
+#include "sim/executor.h"
+
+using namespace beacongnn;
+using namespace beacongnn::serve;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0, int status = 2)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --platform NAME[,NAME...]  platform list (default CC,BG-2)\n"
+        "  --workload NAME[,NAME...]  workload list (default amazon)\n"
+        "  --rates R[,R...]    offered arrival rates, req/s "
+        "(default 500,1000,2000,4000)\n"
+        "  --requests N        requests per stream (default 512)\n"
+        "  --seed N            arrival-stream seed (default 0x5EED)\n"
+        "  --arrival P         poisson|bursty (default poisson)\n"
+        "  --burst-factor X    bursty: rate multiplier in bursts\n"
+        "  --max-batch N       micro-batch dispatch threshold "
+        "(default 32)\n"
+        "  --timeout-us N      micro-batch timeout (default 200)\n"
+        "  --tenants N         tenant count; QoS class = tenant %% 3\n"
+        "  --slo-ms A,B,C      per-class SLO targets, ms "
+        "(default 5,20,100)\n"
+        "  --nodes N           override the workload's node count\n"
+        "  --channels N / --dies N   SSD geometry\n"
+        "  --jobs N            parallel workers for the sweep\n"
+        "  --csv FILE          append CSV rows to FILE\n"
+        "  --breakdown         print per-QoS-class breakdown per rate\n",
+        argv0);
+    std::exit(status);
+}
+
+std::vector<std::string>
+splitList(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos)
+            comma = csv.size();
+        if (comma > pos)
+            out.push_back(csv.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string platform_list = "CC,BG-2";
+    std::string workload_list = "amazon";
+    std::string rate_list = "500,1000,2000,4000";
+    std::string slo_list;
+    std::string csv_path;
+    graph::NodeId nodes = 0;
+    bool breakdown = false;
+
+    platforms::RunConfig rc;
+    ServeConfig sc;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (a == "--platform") platform_list = next();
+        else if (a == "--workload") workload_list = next();
+        else if (a == "--rates") rate_list = next();
+        else if (a == "--requests") sc.arrivals.requests =
+            std::strtoull(next(), nullptr, 10);
+        else if (a == "--seed") sc.arrivals.seed =
+            std::strtoull(next(), nullptr, 10);
+        else if (a == "--arrival") {
+            std::string p = next();
+            if (p == "poisson")
+                sc.arrivals.process = ArrivalProcess::Poisson;
+            else if (p == "bursty")
+                sc.arrivals.process = ArrivalProcess::Bursty;
+            else {
+                std::fprintf(stderr,
+                             "bgnserve: unknown arrival process '%s' "
+                             "(valid: poisson, bursty)\n",
+                             p.c_str());
+                return 2;
+            }
+        }
+        else if (a == "--burst-factor") sc.arrivals.burstFactor =
+            std::strtod(next(), nullptr);
+        else if (a == "--max-batch") sc.policy.maxBatch =
+            static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+        else if (a == "--timeout-us") sc.policy.timeout =
+            sim::microseconds(std::strtoull(next(), nullptr, 10));
+        else if (a == "--tenants") sc.arrivals.tenants =
+            static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+        else if (a == "--slo-ms") slo_list = next();
+        else if (a == "--nodes") nodes = static_cast<graph::NodeId>(
+            std::strtoul(next(), nullptr, 10));
+        else if (a == "--channels") rc.system.flash.channels =
+            static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        else if (a == "--dies") rc.system.flash.diesPerChannel =
+            static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        else if (a == "--jobs") {
+            long v = std::strtol(next(), nullptr, 10);
+            if (v >= 1)
+                sim::SimExecutor::setDefaultJobs(
+                    static_cast<unsigned>(v));
+        }
+        else if (a == "--csv") csv_path = next();
+        else if (a == "--breakdown") breakdown = true;
+        else if (a == "--help" || a == "-h") usage(argv[0], 0);
+        else {
+            std::fprintf(stderr, "bgnserve: unknown option '%s'\n",
+                         a.c_str());
+            usage(argv[0]);
+        }
+    }
+
+    // Resolve the sweep axes up front so bad names fail fast with the
+    // valid choices, before any expensive layout build.
+    std::vector<platforms::PlatformKind> kinds;
+    for (const auto &n : splitList(platform_list)) {
+        auto k = platforms::findPlatform(n);
+        if (!k) {
+            std::fprintf(stderr,
+                         "bgnserve: unknown platform '%s' (valid: %s)\n",
+                         n.c_str(),
+                         platforms::platformNameList().c_str());
+            return 2;
+        }
+        kinds.push_back(*k);
+    }
+    std::vector<const graph::WorkloadSpec *> specs;
+    for (const auto &n : splitList(workload_list)) {
+        const graph::WorkloadSpec *w = graph::findWorkload(n);
+        if (!w) {
+            std::fprintf(stderr,
+                         "bgnserve: unknown workload '%s' (valid: %s)\n",
+                         n.c_str(), graph::workloadNameList().c_str());
+            return 2;
+        }
+        specs.push_back(w);
+    }
+    std::vector<double> rates;
+    for (const auto &r : splitList(rate_list)) {
+        double v = std::strtod(r.c_str(), nullptr);
+        if (v <= 0) {
+            std::fprintf(stderr, "bgnserve: bad rate '%s'\n", r.c_str());
+            return 2;
+        }
+        rates.push_back(v);
+    }
+    if (kinds.empty() || specs.empty() || rates.empty())
+        usage(argv[0]);
+    if (!slo_list.empty()) {
+        auto parts = splitList(slo_list);
+        if (parts.size() != kQosClasses) {
+            std::fprintf(stderr,
+                         "bgnserve: --slo-ms needs %zu values\n",
+                         kQosClasses);
+            return 2;
+        }
+        for (std::size_t q = 0; q < kQosClasses; ++q)
+            sc.slo.target[q] = sim::milliseconds(
+                std::strtoull(parts[q].c_str(), nullptr, 10));
+    }
+
+    // One bundle per workload, shared read-only across the sweep.
+    gnn::ModelConfig model;
+    std::vector<std::unique_ptr<platforms::WorkloadBundle>> bundles;
+    for (const auto *w : specs)
+        bundles.push_back(
+            platforms::makeBundle(*w, rc.system.flash, model, nodes));
+
+    const std::size_t nr = rates.size();
+    const std::size_t nw = specs.size();
+    const std::size_t total = kinds.size() * nw * nr;
+
+    sim::SimExecutor ex;
+    if (total > 1)
+        // stderr: stdout stays byte-identical across worker counts.
+        std::fprintf(stderr, "bgnserve: %zu-point sweep on %u worker(s)\n",
+                     total, ex.jobs());
+    auto results = ex.map<ServeResult>(total, [&](std::size_t i) {
+        std::size_t k = i / (nw * nr);
+        std::size_t w = (i / nr) % nw;
+        std::size_t r = i % nr;
+        ServeConfig point = sc;
+        point.arrivals.ratePerSec = rates[r];
+        return serveWorkload(platforms::makePlatform(kinds[k]), rc,
+                             *bundles[w], point);
+    });
+
+    std::ofstream csv;
+    if (!csv_path.empty()) {
+        bool fresh = !std::ifstream(csv_path).good();
+        csv.open(csv_path, std::ios::app);
+        if (fresh)
+            writeServeCsvHeader(csv);
+    }
+
+    bool ok = true;
+    for (std::size_t k = 0; k < kinds.size(); ++k) {
+        for (std::size_t w = 0; w < nw; ++w) {
+            const auto *first = &results[(k * nw + w) * nr];
+            std::printf("\n%s on %s (%s arrivals, %llu requests, "
+                        "max batch %u, timeout %llu us, seed %llu)\n",
+                        first->platform.c_str(), first->workload.c_str(),
+                        arrivalName(sc.arrivals.process),
+                        static_cast<unsigned long long>(
+                            sc.arrivals.requests),
+                        sc.policy.maxBatch,
+                        static_cast<unsigned long long>(
+                            sc.policy.timeout / 1000),
+                        static_cast<unsigned long long>(
+                            sc.arrivals.seed));
+            printRateHeader();
+            std::vector<ServeResult> curve;
+            for (std::size_t r = 0; r < nr; ++r) {
+                const ServeResult &res = results[(k * nw + w) * nr + r];
+                ok = ok && res.ok;
+                printRateRow(res);
+                if (breakdown)
+                    printClassBreakdown(res);
+                if (csv.is_open())
+                    writeServeCsvRow(csv, res);
+                curve.push_back(res);
+            }
+            printSaturation(curve);
+        }
+    }
+    if (csv.is_open())
+        std::printf("\nappended %zu CSV row(s) to %s\n", total,
+                    csv_path.c_str());
+    return ok ? 0 : 1;
+}

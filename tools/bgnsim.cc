@@ -63,15 +63,6 @@ usage(const char *argv0)
     std::exit(2);
 }
 
-PlatformKind
-parsePlatform(const std::string &name)
-{
-    for (auto kind : allPlatforms())
-        if (platformName(kind) == name)
-            return kind;
-    sim::fatal("unknown platform: " + name);
-}
-
 std::vector<std::string>
 splitList(const std::string &csv)
 {
@@ -150,10 +141,30 @@ main(int argc, char **argv)
         else usage(argv[0]);
     }
 
+    // Validate both sweep axes up front: a bad name exits nonzero
+    // with the valid choices instead of dying mid-sweep.
     std::vector<PlatformKind> kinds;
-    for (const auto &n : splitList(platform_name))
-        kinds.push_back(parsePlatform(n));
+    for (const auto &n : splitList(platform_name)) {
+        auto k = findPlatform(n);
+        if (!k) {
+            std::fprintf(stderr,
+                         "bgnsim: unknown platform '%s' (valid: %s)\n",
+                         n.c_str(), platformNameList().c_str());
+            return 2;
+        }
+        kinds.push_back(*k);
+    }
     std::vector<std::string> workloads = splitList(workload_name);
+    for (auto &n : workloads) {
+        const graph::WorkloadSpec *w = graph::findWorkload(n);
+        if (!w) {
+            std::fprintf(stderr,
+                         "bgnsim: unknown workload '%s' (valid: %s)\n",
+                         n.c_str(), graph::workloadNameList().c_str());
+            return 2;
+        }
+        n = w->name; // Canonical capitalization.
+    }
     if (kinds.empty() || workloads.empty())
         usage(argv[0]);
 
