@@ -15,6 +15,7 @@
 
 #include "accel/systolic.h"
 #include "gnn/model.h"
+#include "sim/metrics.h"
 #include "sim/types.h"
 
 namespace beacongnn::accel {
@@ -79,6 +80,18 @@ class Accelerator
   private:
     AcceleratorConfig cfg;
 };
+
+/** Add one mini-batch's compute estimate into `accel.*` counters. */
+inline void
+publishEstimate(sim::MetricRegistry &reg, const ComputeEstimate &e)
+{
+    reg.counter("accel.jobs").add(1);
+    reg.counter("accel.macs").add(e.macs);
+    reg.counter("accel.vector_ops").add(e.vectorOps);
+    reg.counter("accel.sram_bytes").add(e.sramBytes);
+    reg.counter("accel.aggregate_ticks").add(e.aggregateTime);
+    reg.counter("accel.gemm_ticks").add(e.gemmTime);
+}
 
 /** SSD-bus-attached accelerator sized to SSD budgets (Table II). */
 AcceleratorConfig ssdAcceleratorConfig();

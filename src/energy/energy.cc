@@ -26,4 +26,19 @@ account(const EnergyConstants &c, const EnergyInputs &in)
     return e;
 }
 
+void
+publish(sim::MetricRegistry &reg, const EnergyBreakdown &e)
+{
+    reg.gauge("energy.flash_j").set(e.flash);
+    reg.gauge("energy.channel_j").set(e.channel);
+    reg.gauge("energy.dram_j").set(e.dram);
+    reg.gauge("energy.pcie_j").set(e.pcie);
+    reg.gauge("energy.cores_j").set(e.cores);
+    reg.gauge("energy.host_cpu_j").set(e.hostCpu);
+    reg.gauge("energy.accel_j").set(e.accel);
+    reg.gauge("energy.engines_j").set(e.engines);
+    reg.gauge("energy.background_j").set(e.background);
+    reg.gauge("energy.total_j").set(e.total());
+}
+
 } // namespace beacongnn::energy

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "engines/gnn_engine.h"
+#include "sim/metrics.h"
 #include "sim/types.h"
 
 namespace beacongnn::energy {
@@ -79,6 +80,9 @@ struct EnergyInputs
 
 /** Account the energy of one run. */
 EnergyBreakdown account(const EnergyConstants &c, const EnergyInputs &in);
+
+/** Publish a breakdown as `energy.*_j` gauges. */
+void publish(sim::MetricRegistry &reg, const EnergyBreakdown &e);
 
 } // namespace beacongnn::energy
 

@@ -5,8 +5,8 @@
 namespace beacongnn::engines {
 
 flash::GnnSampleResult
-DieSampler::execute(const std::optional<dg::SectionData> &section,
-                    const flash::GnnSampleParams &params) const
+DieSampler::executeImpl(const std::optional<dg::SectionData> &section,
+                        const flash::GnnSampleParams &params) const
 {
     flash::GnnSampleResult res;
     res.hop = params.hop;

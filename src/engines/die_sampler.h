@@ -27,6 +27,7 @@
 
 #include "directgraph/source.h"
 #include "flash/onfi.h"
+#include "sim/metrics.h"
 #include "ssd/config.h"
 
 namespace beacongnn::engines {
@@ -62,7 +63,30 @@ class DieSampler
      */
     flash::GnnSampleResult
     execute(const std::optional<dg::SectionData> &section,
-            const flash::GnnSampleParams &params) const;
+            const flash::GnnSampleParams &params) const
+    {
+        flash::GnnSampleResult r = executeImpl(section, params);
+        ++_executed;
+        if (!r.ok)
+            ++_aborted;
+        _emitted += r.follow.size();
+        return r;
+    }
+
+    /** Commands executed / aborted (§VI-E) / follow-ups emitted. */
+    std::uint64_t executed() const { return _executed; }
+    std::uint64_t aborted() const { return _aborted; }
+    std::uint64_t emitted() const { return _emitted; }
+
+    /** Publish sampler instruments into @p reg under @p prefix. */
+    void
+    publishMetrics(sim::MetricRegistry &reg,
+                   const std::string &prefix = "engine.sampler") const
+    {
+        reg.counter(prefix + ".executed").add(_executed);
+        reg.counter(prefix + ".aborted").add(_aborted);
+        reg.counter(prefix + ".emitted").add(_emitted);
+    }
 
     /** On-die execution latency of a completed command. */
     sim::Tick
@@ -74,9 +98,18 @@ class DieSampler
     }
 
   private:
+    flash::GnnSampleResult
+    executeImpl(const std::optional<dg::SectionData> &section,
+                const flash::GnnSampleParams &params) const;
+
     ssd::EngineConfig ecfg;
     flash::GnnGlobalConfig gcfg;
     DieSamplerOptions opts;
+    // The sampler model is stateless; the tallies are observability
+    // only (mutable so execute() stays const for callers).
+    mutable std::uint64_t _executed = 0;
+    mutable std::uint64_t _aborted = 0;
+    mutable std::uint64_t _emitted = 0;
 };
 
 } // namespace beacongnn::engines

@@ -5,9 +5,100 @@
 #include <unordered_set>
 
 #include "sim/log.h"
+#include "sim/metrics.h"
 #include "sim/rng.h"
+#include "sim/trace_events.h"
 
 namespace beacongnn::engines {
+
+// ====================================================================
+// CmdStats / PrepTally aggregation.
+// ====================================================================
+
+void
+CmdStats::merge(const CmdStats &other)
+{
+    waitBefore.merge(other.waitBefore);
+    flashTime.merge(other.flashTime);
+    waitAfter.merge(other.waitAfter);
+    lifetime.merge(other.lifetime);
+    lifetimeHist.merge(other.lifetimeHist);
+}
+
+void
+CmdStats::publish(sim::MetricRegistry &reg,
+                  const std::string &prefix) const
+{
+    reg.accum(prefix + ".wait_before_us").merge(waitBefore);
+    reg.accum(prefix + ".flash_time_us").merge(flashTime);
+    reg.accum(prefix + ".wait_after_us").merge(waitAfter);
+    reg.accum(prefix + ".lifetime_us").merge(lifetime);
+    reg.histogram(prefix + ".lifetime_us_hist", lifetimeHist.bucketWidth(),
+                  lifetimeHist.buckets().size())
+        .merge(lifetimeHist);
+}
+
+CmdStats
+CmdStats::fromRegistry(const sim::MetricRegistry &reg,
+                       const std::string &prefix)
+{
+    CmdStats s;
+    if (const auto *a = reg.findAccum(prefix + ".wait_before_us"))
+        s.waitBefore = *a;
+    if (const auto *a = reg.findAccum(prefix + ".flash_time_us"))
+        s.flashTime = *a;
+    if (const auto *a = reg.findAccum(prefix + ".wait_after_us"))
+        s.waitAfter = *a;
+    if (const auto *a = reg.findAccum(prefix + ".lifetime_us"))
+        s.lifetime = *a;
+    if (const auto *h = reg.findHistogram(prefix + ".lifetime_us_hist"))
+        s.lifetimeHist = *h;
+    return s;
+}
+
+void
+PrepTally::merge(const PrepTally &other)
+{
+    flashReads += other.flashReads;
+    channelBytes += other.channelBytes;
+    dramBytes += other.dramBytes;
+    pcieBytes += other.pcieBytes;
+    hostCpuBusy += other.hostCpuBusy;
+    featureBytes += other.featureBytes;
+    abortedCommands += other.abortedCommands;
+}
+
+void
+PrepTally::publish(sim::MetricRegistry &reg,
+                   const std::string &prefix) const
+{
+    reg.counter(prefix + ".flash_reads").add(flashReads);
+    reg.counter(prefix + ".channel_bytes").add(channelBytes);
+    reg.counter(prefix + ".dram_bytes").add(dramBytes);
+    reg.counter(prefix + ".pcie_bytes").add(pcieBytes);
+    reg.counter(prefix + ".host_cpu_busy_ticks").add(hostCpuBusy);
+    reg.counter(prefix + ".feature_bytes").add(featureBytes);
+    reg.counter(prefix + ".aborted_commands").add(abortedCommands);
+}
+
+PrepTally
+PrepTally::fromRegistry(const sim::MetricRegistry &reg,
+                        const std::string &prefix)
+{
+    auto get = [&](const char *name) -> std::uint64_t {
+        const sim::Counter *c = reg.findCounter(prefix + "." + name);
+        return c ? c->value() : 0;
+    };
+    PrepTally t;
+    t.flashReads = get("flash_reads");
+    t.channelBytes = get("channel_bytes");
+    t.dramBytes = get("dram_bytes");
+    t.pcieBytes = get("pcie_bytes");
+    t.hostCpuBusy = get("host_cpu_busy_ticks");
+    t.featureBytes = get("feature_bytes");
+    t.abortedCommands = get("aborted_commands");
+    return t;
+}
 
 namespace {
 
@@ -96,12 +187,43 @@ GnnEngine::prepare(sim::Tick start, std::uint64_t batch_id,
 }
 
 void
+GnnEngine::setTraceSink(sim::TraceSink *sink)
+{
+    trace = sink;
+    if (trace) {
+        trace->setProcessName(flash::kTraceEnginePid, "engine");
+        trace->setProcessName(flash::kTraceDramPid, "ssd dram");
+    }
+}
+
+void
+GnnEngine::publishMetrics(sim::MetricRegistry &reg) const
+{
+    sampler.publishMetrics(reg);
+    if (router) {
+        DispatchStats s = router->stats();
+        reg.counter("engine.router.commands_routed").add(s.routed);
+        reg.counter("engine.router.frames_parsed").add(s.parsed);
+        reg.counter("engine.router.cross_channel").add(s.crossChannel);
+        reg.gauge("engine.router.peak_queue")
+            .set(static_cast<double>(s.peakQueue));
+    }
+    reg.gauge("engine.config_broadcast_ticks")
+        .set(static_cast<double>(configDone));
+}
+
+void
 GnnEngine::finishBatch(const std::shared_ptr<Batch> &b, sim::Tick when)
 {
     if (b->finished)
         return;
     b->finished = true;
     b->res.finish = when;
+    if (trace) {
+        trace->complete("batch", "batch", flash::kTraceEnginePid,
+                        static_cast<std::uint32_t>(b->id), b->res.start,
+                        when);
+    }
     queue.scheduleAt(when, [b] {
         if (b->done)
             b->done(std::move(b->res));
@@ -221,6 +343,16 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
         }
     }
 
+    // Nestable async lifetime span per command (Perfetto: one slice
+    // with dispatch / sense / xfer / consume children).
+    std::uint64_t span_id = 0;
+    if (trace) {
+        span_id = trace->nextId();
+        trace->beginAsync("cmd", "cmd", span_id, created);
+        trace->beginAsync(_flags.hwRouter ? "route" : "fw-issue", "cmd",
+                          span_id, created);
+    }
+
     // ---- Dispatch: hardware router vs firmware core ----------------
     sim::Tick dispatched;
     if (_flags.hwRouter) {
@@ -232,6 +364,9 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
     } else {
         dispatched = fw.coreIssue(ready).end;
     }
+    if (trace)
+        trace->endAsync(_flags.hwRouter ? "route" : "fw-issue", "cmd",
+                        span_id, dispatched);
 
     // ---- Functional sampling ---------------------------------------
     dg::DgAddress addr(params.ppa, params.sectionIndex);
@@ -250,6 +385,12 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
     b->res.tally.channelBytes += transfer_bytes;
     if (_flags.hwRouter)
         router->bindCompletion(params.ppa, t.xferEnd);
+    if (trace) {
+        trace->beginAsync("sense", "cmd", span_id, t.senseStart);
+        trace->endAsync("sense", "cmd", span_id, t.senseEnd);
+        trace->beginAsync("xfer", "cmd", span_id, t.xferStart);
+        trace->endAsync("xfer", "cmd", span_id, t.xferEnd);
+    }
 
     // ---- Result consumption ------------------------------------------
     sim::Tick parsed;
@@ -265,6 +406,10 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
                 fw.dram().acquire(parsed, result.featureBytes);
             b->res.tally.dramBytes += result.featureBytes;
             b->finishMax = std::max(b->finishMax, mem.end);
+            if (trace)
+                trace->complete("feature-dma", "dram",
+                                flash::kTraceDramPid, 0, parsed,
+                                mem.end);
         }
     } else if (die_sampling) {
         // BG-DGSP: frames land in DRAM, a core parses each.
@@ -279,6 +424,11 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
         parsed = fw.coreComplete(mem.end,
                                  fw.config().controller.coreSampleTime)
                      .end;
+    }
+    if (trace) {
+        trace->beginAsync("consume", "cmd", span_id, t.xferEnd);
+        trace->endAsync("consume", "cmd", span_id, parsed);
+        trace->endAsync("cmd", "cmd", span_id, parsed);
     }
     if (result.featureIncluded)
         b->res.tally.featureBytes += result.featureBytes;
@@ -411,6 +561,13 @@ GnnEngine::runHop(const std::shared_ptr<Batch> &b, unsigned hop,
                        sim::Tick core_extra, bool to_host,
                        std::uint32_t pcie_bytes) -> sim::Tick {
         sim::Tick created = ready;
+        std::uint64_t span_id = 0;
+        if (trace) {
+            span_id = trace->nextId();
+            trace->beginAsync("cmd", "cmd", span_id, created);
+            trace->beginAsync(to_host ? "host-io" : "fw-issue", "cmd",
+                              span_id, created);
+        }
         if (to_host) {
             // Host software stack issues the block I/O.
             sim::Grant io = fw.hostIoService(ready);
@@ -419,6 +576,9 @@ GnnEngine::runHop(const std::shared_ptr<Batch> &b, unsigned hop,
         }
         sim::Tick dispatched =
             fw.coreIssue(ready, ctl.ftlLookupTime).end;
+        if (trace)
+            trace->endAsync(to_host ? "host-io" : "fw-issue", "cmd",
+                            span_id, dispatched);
         flash::FlashOpTiming t =
             backend.read(dispatched, ppa, bytes, on_die);
         ++b->res.tally.flashReads;
@@ -430,6 +590,15 @@ GnnEngine::runHop(const std::shared_ptr<Batch> &b, unsigned hop,
             sim::Grant link = fw.pcie().acquire(parsed, pcie_bytes);
             b->res.tally.pcieBytes += pcie_bytes;
             parsed = link.end;
+        }
+        if (trace) {
+            trace->beginAsync("sense", "cmd", span_id, t.senseStart);
+            trace->endAsync("sense", "cmd", span_id, t.senseEnd);
+            trace->beginAsync("xfer", "cmd", span_id, t.xferStart);
+            trace->endAsync("xfer", "cmd", span_id, t.xferEnd);
+            trace->beginAsync("consume", "cmd", span_id, t.xferEnd);
+            trace->endAsync("consume", "cmd", span_id, parsed);
+            trace->endAsync("cmd", "cmd", span_id, parsed);
         }
         ++b->res.commands;
         sim::Tick wait_before = t.senseStart - created;

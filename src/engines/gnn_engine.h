@@ -33,6 +33,11 @@
 #include "sim/stats.h"
 #include "ssd/firmware.h"
 
+namespace beacongnn::sim {
+class MetricRegistry;
+class TraceSink;
+} // namespace beacongnn::sim
+
 namespace beacongnn::engines {
 
 /** Where neighbour sampling executes. */
@@ -81,6 +86,19 @@ struct CmdStats
     sim::Accumulator lifetime;   ///< created -> parsed.
     /** Lifetime distribution for tail percentiles (10 us buckets). */
     sim::Histogram lifetimeHist{10.0, 1024};
+
+    /** Exact merge of another batch's statistics. */
+    void merge(const CmdStats &other);
+
+    /** Merge into @p reg under `<prefix>.*` (the registry's merge
+     *  path: one call per batch accumulates the run totals). */
+    void publish(sim::MetricRegistry &reg,
+                 const std::string &prefix = "engine.cmd") const;
+
+    /** Rebuild the aggregate from a registry (inverse of publish;
+     *  zeros when the instruments are absent). */
+    static CmdStats fromRegistry(const sim::MetricRegistry &reg,
+                                 const std::string &prefix = "engine.cmd");
 };
 
 /** First/last activity of one hop (Fig. 16). */
@@ -107,6 +125,17 @@ struct PrepTally
     sim::Tick hostCpuBusy = 0;      ///< Host CPU time consumed.
     std::uint64_t featureBytes = 0; ///< Feature payload staged.
     std::uint64_t abortedCommands = 0; ///< §VI-E on-die aborts.
+
+    /** Sum another batch's tallies into this one. */
+    void merge(const PrepTally &other);
+
+    /** Add into @p reg counters under `<prefix>.*`. */
+    void publish(sim::MetricRegistry &reg,
+                 const std::string &prefix = "engine") const;
+
+    /** Rebuild the totals from a registry (inverse of publish). */
+    static PrepTally fromRegistry(const sim::MetricRegistry &reg,
+                                  const std::string &prefix = "engine");
 };
 
 /** Result of one mini-batch data preparation. */
@@ -162,6 +191,18 @@ class GnnEngine
      *  broadcasting to every die (0 before the first batch). */
     sim::Tick configuredAt() const { return configDone; }
 
+    /**
+     * Attach a Chrome-trace sink: every subsequent flash command
+     * emits a nested async lifetime span (dispatch / sense / xfer /
+     * consume children) and each batch a complete span. nullptr
+     * detaches.
+     */
+    void setTraceSink(sim::TraceSink *sink);
+
+    /** Publish engine-level instruments (`engine.router.*`,
+     *  `engine.sampler.*`, config broadcast) into @p reg. */
+    void publishMetrics(sim::MetricRegistry &reg) const;
+
   private:
     struct Batch;
 
@@ -197,6 +238,8 @@ class GnnEngine
     std::unique_ptr<CommandRouter> router;
     /** Completion time of the one-time GNN config broadcast. */
     sim::Tick configDone = 0;
+    /** Opt-in command-lifetime trace (not owned). */
+    sim::TraceSink *trace = nullptr;
 };
 
 } // namespace beacongnn::engines

@@ -1,9 +1,12 @@
 #include "flash/backend.h"
 
+#include "sim/metrics.h"
+#include "sim/trace_events.h"
+
 namespace beacongnn::flash {
 
 FlashBackend::FlashBackend(const FlashConfig &config, bool trace)
-    : cfg(config), _codec(config)
+    : cfg(config), _codec(config), tracingIntervals(trace)
 {
     channels.reserve(cfg.channels);
     for (unsigned c = 0; c < cfg.channels; ++c)
@@ -37,6 +40,13 @@ FlashBackend::read(sim::Tick ready, Ppa ppa, std::uint32_t transfer_bytes,
     t.xferStart = xfer.start;
     t.xferEnd = xfer.end;
     unsigned die_idx = loc.channel * cfg.diesPerChannel + loc.die;
+    ++_reads;
+    if (traceSink) {
+        traceSink->complete("sense", "flash", kTraceDiePid, die_idx,
+                            sense.start, sense.end);
+        traceSink->complete("xfer", "flash", kTraceChannelPid,
+                            loc.channel, xfer.start, xfer.end);
+    }
     if (cfg.dualRegister) {
         // Dual cache/data registers: the next sense may overlap this
         // transfer, but the one after must wait for it to drain.
@@ -68,6 +78,15 @@ FlashBackend::program(sim::Tick ready, Ppa ppa, std::uint32_t transfer_bytes)
     sim::Grant prog = d.acquire(in.end, cfg.programLatency);
     t.senseStart = prog.start;
     t.senseEnd = prog.end;
+    ++_programs;
+    if (traceSink) {
+        traceSink->complete("data-in", "flash", kTraceChannelPid,
+                            loc.channel, in.start, in.end);
+        traceSink->complete(
+            "program", "flash", kTraceDiePid,
+            loc.channel * cfg.diesPerChannel + loc.die, prog.start,
+            prog.end);
+    }
     return t;
 }
 
@@ -85,6 +104,13 @@ FlashBackend::erase(sim::Tick ready, BlockId block)
     t.senseEnd = er.end;
     t.xferStart = er.end;
     t.xferEnd = er.end;
+    ++_erases;
+    if (traceSink) {
+        traceSink->complete(
+            "erase", "flash", kTraceDiePid,
+            loc.channel * cfg.diesPerChannel + loc.die, er.start,
+            er.end);
+    }
     return t;
 }
 
@@ -106,6 +132,73 @@ FlashBackend::totalChannelBusy() const
     return b;
 }
 
+std::string
+FlashBackend::dieMetricName(unsigned global_idx,
+                            const char *instrument) const
+{
+    unsigned ch = global_idx / cfg.diesPerChannel;
+    unsigned die = global_idx % cfg.diesPerChannel;
+    return "flash.ch" + std::to_string(ch) + ".die" +
+           std::to_string(die) + "." + instrument;
+}
+
+std::string
+FlashBackend::channelMetricName(unsigned channel,
+                                const char *instrument) const
+{
+    return "flash.ch" + std::to_string(channel) + "." + instrument;
+}
+
+void
+FlashBackend::publishMetrics(sim::MetricRegistry &reg) const
+{
+    reg.counter("flash.reads").add(_reads);
+    reg.counter("flash.programs").add(_programs);
+    reg.counter("flash.erases").add(_erases);
+    reg.counter("flash.die_busy_ticks").add(totalDieBusy());
+    reg.counter("flash.channel_busy_ticks").add(totalChannelBusy());
+    for (unsigned d = 0; d < dieCount(); ++d) {
+        const sim::Bus &die_bus = dies[d];
+        reg.counter(dieMetricName(d, "sense_ticks"))
+            .add(die_bus.busyTime());
+        reg.counter(dieMetricName(d, "reads")).add(die_bus.requests());
+        if (tracingIntervals) {
+            reg.interval(dieMetricName(d, "busy_intervals"))
+                .merge(die_bus.intervals());
+        }
+    }
+    for (unsigned c = 0; c < channelCount(); ++c) {
+        const sim::Bus &ch = channels[c];
+        reg.counter(channelMetricName(c, "xfer_ticks"))
+            .add(ch.busyTime());
+        reg.counter(channelMetricName(c, "requests"))
+            .add(ch.requests());
+        if (tracingIntervals) {
+            reg.interval(channelMetricName(c, "busy_intervals"))
+                .merge(ch.intervals());
+        }
+    }
+}
+
+void
+FlashBackend::setTraceSink(sim::TraceSink *sink)
+{
+    traceSink = sink;
+    if (!sink)
+        return;
+    sink->setProcessName(kTraceDiePid, "flash dies");
+    sink->setProcessName(kTraceChannelPid, "flash channels");
+    for (unsigned d = 0; d < dieCount(); ++d) {
+        sink->setThreadName(kTraceDiePid, d,
+                            "ch" + std::to_string(d / cfg.diesPerChannel) +
+                                ".die" +
+                                std::to_string(d % cfg.diesPerChannel));
+    }
+    for (unsigned c = 0; c < channelCount(); ++c)
+        sink->setThreadName(kTraceChannelPid, c,
+                            "ch" + std::to_string(c));
+}
+
 void
 FlashBackend::resetStats()
 {
@@ -114,6 +207,7 @@ FlashBackend::resetStats()
     for (auto &d : dies)
         d.resetStats();
     prevXfer.assign(cfg.totalDies(), 0);
+    _reads = _programs = _erases = 0;
 }
 
 } // namespace beacongnn::flash

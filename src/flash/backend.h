@@ -24,6 +24,11 @@
 #include "flash/config.h"
 #include "sim/resources.h"
 
+namespace beacongnn::sim {
+class MetricRegistry;
+class TraceSink;
+} // namespace beacongnn::sim
+
 namespace beacongnn::flash {
 
 /** Timing decomposition of one backend flash operation. */
@@ -99,6 +104,34 @@ class FlashBackend
     /** Aggregate busy time over all channels. */
     sim::Tick totalChannelBusy() const;
 
+    /** Backend page operations performed so far. */
+    std::uint64_t reads() const { return _reads; }
+    std::uint64_t programs() const { return _programs; }
+    std::uint64_t erases() const { return _erases; }
+
+    /**
+     * Publish the backend's instruments into @p reg under the
+     * `flash.` namespace: device-wide op counters and busy ticks,
+     * plus per-unit `flash.ch<c>[.die<d>].*` counters (and
+     * `busy_intervals` traces when interval tracing is enabled).
+     */
+    void publishMetrics(sim::MetricRegistry &reg) const;
+
+    /** Full metric name of one die's instrument (@p global_idx as in
+     *  die()), e.g. dieMetricName(5, "sense_ticks"). */
+    std::string dieMetricName(unsigned global_idx,
+                              const char *instrument) const;
+    /** Full metric name of one channel's instrument. */
+    std::string channelMetricName(unsigned channel,
+                                  const char *instrument) const;
+
+    /**
+     * Attach a Chrome-trace sink: every subsequent read/program/erase
+     * emits complete events on per-die and per-channel tracks. Also
+     * registers the track names. nullptr detaches.
+     */
+    void setTraceSink(sim::TraceSink *sink);
+
     /** Reset all occupancy and statistics (keeps configuration). */
     void resetStats();
 
@@ -110,6 +143,20 @@ class FlashBackend
     /** Per-die completion time of the previous data-out (dual-
      *  register pipelining constraint). */
     std::vector<sim::Tick> prevXfer;
+    bool tracingIntervals = false;
+    std::uint64_t _reads = 0;
+    std::uint64_t _programs = 0;
+    std::uint64_t _erases = 0;
+    sim::TraceSink *traceSink = nullptr;
+};
+
+/** Trace track (pid) ids used by the backend and the engine layer. */
+enum TracePid : std::uint32_t
+{
+    kTraceEnginePid = 0, ///< Command-lifetime async spans + batches.
+    kTraceDiePid = 1,    ///< One tid per global die index.
+    kTraceChannelPid = 2,///< One tid per channel index.
+    kTraceDramPid = 3,   ///< SSD DRAM transfers.
 };
 
 } // namespace beacongnn::flash

@@ -61,11 +61,10 @@ struct PlatformSession::Impl
     engines::GnnEngine engine;
 
     RunResult res;
+    sim::MetricRegistry reg;
     sim::Tick prepFree = 0;
     sim::Tick lastComputeEnd = 0;
     std::uint32_t batches = 0;
-    std::uint64_t accelMacs = 0;
-    std::uint64_t accelSram = 0;
 
     Impl(const PlatformConfig &p, const RunConfig &r,
          const WorkloadBundle &b)
@@ -76,9 +75,17 @@ struct PlatformSession::Impl
           engine(queue, backend, fw, b.layout, b.graph, b.model,
                  p.flags, *b.source)
     {
-        // Mirror the bundle's block reservation in this run's FTL so
-        // the isolation invariants hold during the run.
-        fw.ftl().reserveBlocks(bundle.layout.blocks.size());
+        // Mirror the bundle's block reservation in this run's FTL.
+        // The layout's addresses are only valid if this FTL reserves
+        // the *same* blocks the bundle was laid out on, so mirror the
+        // exact list rather than re-reserving by count.
+        if (!fw.ftl().reserveExact(bundle.layout.blocks))
+            sim::fatal("PlatformSession: cannot mirror the bundle's "
+                       "block reservation (geometry mismatch?)");
+        if (r.traceSink) {
+            backend.setTraceSink(r.traceSink);
+            engine.setTraceSink(r.traceSink);
+        }
         res.platform = platform.name;
         res.workload = bundle.name;
     }
@@ -142,35 +149,22 @@ PlatformSession::runBatch(sim::Tick ready,
     svc.computeStart = cg.start;
     svc.computeEnd = cg.end;
     s.lastComputeEnd = cg.end;
-    s.accelMacs += est.macs;
-    s.accelSram += est.sramBytes;
+    accel::publishEstimate(s.reg, est);
 
-    // Merge statistics.
+    // Merge the batch's statistics into the session registry; the
+    // RunResult aggregates are rebuilt from it in finish().
+    pr.cmdStats.publish(s.reg);
+    pr.tally.publish(s.reg);
+    s.reg.counter("engine.commands").add(pr.commands);
+    s.reg.counter("engine.deduped_reads").add(pr.dedupedReads);
+    s.reg.counter("run.batches").add(1);
+    s.reg.counter("run.targets").add(targets.size());
+
     RunResult &res = s.res;
-    res.cmdStats.waitBefore =
-        merged(res.cmdStats.waitBefore, pr.cmdStats.waitBefore);
-    res.cmdStats.flashTime =
-        merged(res.cmdStats.flashTime, pr.cmdStats.flashTime);
-    res.cmdStats.waitAfter =
-        merged(res.cmdStats.waitAfter, pr.cmdStats.waitAfter);
-    res.cmdStats.lifetime =
-        merged(res.cmdStats.lifetime, pr.cmdStats.lifetime);
-    res.cmdStats.lifetimeHist.merge(pr.cmdStats.lifetimeHist);
-
-    res.tally.flashReads += pr.tally.flashReads;
-    res.tally.channelBytes += pr.tally.channelBytes;
-    res.tally.dramBytes += pr.tally.dramBytes;
-    res.tally.pcieBytes += pr.tally.pcieBytes;
-    res.tally.hostCpuBusy += pr.tally.hostCpuBusy;
-    res.tally.featureBytes += pr.tally.featureBytes;
-    res.tally.abortedCommands += pr.tally.abortedCommands;
-
     res.hops = pr.hops;
     res.lastBatchStart = pr.start;
     res.lastSubgraph = std::move(pr.subgraph);
-    res.targets += targets.size();
     s.prepFree = pr.finish;
-    res.prepTime = pr.finish;
     ++s.batches;
     return svc;
 }
@@ -179,36 +173,69 @@ RunResult
 PlatformSession::finish()
 {
     Impl &s = *impl;
+    sim::MetricRegistry &reg = s.reg;
     RunResult res = std::move(s.res);
 
+    // Every component publishes its instruments; RunResult is then
+    // populated *from the registry* so the snapshot exporters and the
+    // figure outputs read the same numbers.
+    s.backend.publishMetrics(reg);
+    s.fw.publishMetrics(reg);
+    s.engine.publishMetrics(reg);
+    reg.counter("accel.busy_ticks").add(s.accelBus.busyTime());
+
+    res.cmdStats = engines::CmdStats::fromRegistry(reg);
+    res.tally = engines::PrepTally::fromRegistry(reg);
+    res.targets = reg.counter("run.targets").value();
+
+    res.prepTime = s.prepFree;
     res.totalTime = std::max(s.prepFree, s.lastComputeEnd);
     res.throughput = res.totalTime == 0
                          ? 0.0
                          : static_cast<double>(res.targets) /
                                sim::toSeconds(res.totalTime);
+    reg.counter("run.prep_ticks").add(res.prepTime);
+    reg.counter("run.total_ticks").add(res.totalTime);
 
-    // Resource utilizations over the run.
+    // Resource utilizations over the run, from the published busy
+    // tick counters (identical uint64 values the components held).
     sim::Tick horizon = std::max<sim::Tick>(1, res.totalTime);
-    res.dieUtil = static_cast<double>(s.backend.totalDieBusy()) /
-                  (static_cast<double>(horizon) * s.backend.dieCount());
+    res.dieUtil =
+        static_cast<double>(reg.counter("flash.die_busy_ticks").value()) /
+        (static_cast<double>(horizon) * s.backend.dieCount());
     res.channelUtil =
-        static_cast<double>(s.backend.totalChannelBusy()) /
+        static_cast<double>(
+            reg.counter("flash.channel_busy_ticks").value()) /
         (static_cast<double>(horizon) * s.backend.channelCount());
-    res.coreUtil = s.fw.coreUtilization(horizon);
-    res.dramUtil = s.fw.dram().utilization(horizon);
-    res.pcieUtil = s.fw.pcie().utilization(horizon);
-    res.accelBusy = s.accelBus.busyTime();
+    res.coreUtil =
+        static_cast<double>(
+            reg.counter("ssd.firmware.core_busy").value()) /
+        (static_cast<double>(horizon) *
+         (s.fw.issueCores().size() + s.fw.completeCores().size()));
+    res.dramUtil =
+        static_cast<double>(reg.counter("ssd.dram.busy_ticks").value()) /
+        static_cast<double>(horizon);
+    res.pcieUtil =
+        static_cast<double>(reg.counter("ssd.pcie.busy_ticks").value()) /
+        static_cast<double>(horizon);
+    res.accelBusy = reg.counter("accel.busy_ticks").value();
     res.hostBusy = res.tally.hostCpuBusy;
 
     if (s.run.traceUtilization) {
         std::vector<const sim::IntervalTrace *> die_traces;
-        for (unsigned d = 0; d < s.backend.dieCount(); ++d)
-            die_traces.push_back(&s.backend.die(d).intervals());
+        for (unsigned d = 0; d < s.backend.dieCount(); ++d) {
+            if (const auto *t = reg.findInterval(
+                    s.backend.dieMetricName(d, "busy_intervals")))
+                die_traces.push_back(t);
+        }
         res.dieSeries = sim::activeSeries(die_traces, horizon,
                                           s.run.utilizationBuckets);
         std::vector<const sim::IntervalTrace *> ch_traces;
-        for (unsigned c = 0; c < s.backend.channelCount(); ++c)
-            ch_traces.push_back(&s.backend.channel(c).intervals());
+        for (unsigned c = 0; c < s.backend.channelCount(); ++c) {
+            if (const auto *t = reg.findInterval(
+                    s.backend.channelMetricName(c, "busy_intervals")))
+                ch_traces.push_back(t);
+        }
         res.channelSeries = sim::activeSeries(ch_traces, horizon,
                                               s.run.utilizationBuckets);
     }
@@ -216,9 +243,9 @@ PlatformSession::finish()
     // Energy accounting.
     energy::EnergyInputs in;
     in.tally = res.tally;
-    in.coreBusy = s.fw.coreBusyTime();
-    in.accelMacs = s.accelMacs;
-    in.accelSramBytes = s.accelSram;
+    in.coreBusy = reg.counter("ssd.firmware.core_busy").value();
+    in.accelMacs = reg.counter("accel.macs").value();
+    in.accelSramBytes = reg.counter("accel.sram_bytes").value();
     in.engineCommands = (s.platform.flags.sampling ==
                          engines::SamplingLoc::Die)
                             ? res.tally.flashReads
@@ -228,12 +255,28 @@ PlatformSession::finish()
     res.avgPowerW = res.totalTime == 0 ? 0.0
                                        : res.energy.total() /
                                              sim::toSeconds(res.totalTime);
+
+    energy::publish(reg, res.energy);
+    reg.gauge("energy.avg_power_w").set(res.avgPowerW);
+    reg.gauge("run.throughput").set(res.throughput);
+    reg.gauge("run.die_util").set(res.dieUtil);
+    reg.gauge("run.channel_util").set(res.channelUtil);
+    reg.gauge("run.core_util").set(res.coreUtil);
+    reg.gauge("run.dram_util").set(res.dramUtil);
+    reg.gauge("run.pcie_util").set(res.pcieUtil);
+    reg.gauge("run.ok").set(res.ok ? 1.0 : 0.0);
     return res;
+}
+
+const sim::MetricRegistry &
+PlatformSession::metrics() const
+{
+    return impl->reg;
 }
 
 RunResult
 runPlatform(const PlatformConfig &platform, const RunConfig &run,
-            const WorkloadBundle &bundle)
+            const WorkloadBundle &bundle, sim::MetricRegistry *metrics)
 {
     PlatformSession session(platform, run, bundle);
 
@@ -246,7 +289,10 @@ runPlatform(const PlatformConfig &platform, const RunConfig &run,
             t = rng.below(n_nodes);
         session.runBatch(session.prepFree(), targets);
     }
-    return session.finish();
+    RunResult res = session.finish();
+    if (metrics)
+        metrics->merge(session.metrics());
+    return res;
 }
 
 } // namespace beacongnn::platforms

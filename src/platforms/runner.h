@@ -23,6 +23,11 @@
 #include "energy/energy.h"
 #include "graph/dataset.h"
 #include "platforms/platform.h"
+#include "sim/metrics.h"
+
+namespace beacongnn::sim {
+class TraceSink;
+} // namespace beacongnn::sim
 
 namespace beacongnn::platforms {
 
@@ -72,6 +77,9 @@ struct RunConfig
     std::uint64_t targetSeed = 0xF00D;
     bool traceUtilization = false;
     std::size_t utilizationBuckets = 48;
+    /** Opt-in Chrome-trace sink recording command lifetimes and flash
+     *  operations (not owned; nullptr = no tracing). */
+    sim::TraceSink *traceSink = nullptr;
 };
 
 /** Everything measured in one run. */
@@ -156,14 +164,26 @@ class PlatformSession
     /** Fold the accumulated statistics into a RunResult. */
     RunResult finish();
 
+    /**
+     * The session's metric registry. Every component publishes into
+     * it during finish(); before that it holds only the per-batch
+     * engine instruments. RunResult's fields are derived from it.
+     */
+    const sim::MetricRegistry &metrics() const;
+
   private:
     struct Impl;
     std::unique_ptr<Impl> impl;
 };
 
-/** Execute @p batches mini-batches of @p batchSize targets. */
+/**
+ * Execute @p batches mini-batches of @p batchSize targets.
+ * @param metrics When non-null, receives a merged copy of the
+ *                session's full instrument registry.
+ */
 RunResult runPlatform(const PlatformConfig &platform,
-                      const RunConfig &run, const WorkloadBundle &bundle);
+                      const RunConfig &run, const WorkloadBundle &bundle,
+                      sim::MetricRegistry *metrics = nullptr);
 
 } // namespace beacongnn::platforms
 

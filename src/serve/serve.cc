@@ -9,7 +9,8 @@ serveWorkload(const platforms::PlatformConfig &platform,
               const platforms::RunConfig &run,
               const platforms::WorkloadBundle &bundle,
               const ServeConfig &cfg,
-              std::vector<RequestOutcome> *outcomes)
+              std::vector<RequestOutcome> *outcomes,
+              sim::MetricRegistry *metrics)
 {
     ServeResult res;
     res.platform = platform.name;
@@ -73,6 +74,40 @@ serveWorkload(const platforms::PlatformConfig &platform,
                            ? 0.0
                            : static_cast<double>(res.requests) /
                                  sim::toSeconds(res.makespan);
+
+    if (metrics) {
+        // finish() makes every platform component publish into the
+        // session registry; fold that in, then the serving layer's
+        // own instruments on top.
+        (void)session.finish();
+        metrics->merge(session.metrics());
+        metrics->counter("serve.requests").add(res.requests);
+        metrics->counter("serve.batches").add(res.batches);
+        metrics->counter("serve.makespan_ticks").add(res.makespan);
+        metrics->counter("serve.violations").add(res.violations());
+        metrics->gauge("serve.offered_rate").set(res.offeredRate);
+        metrics->gauge("serve.achieved_rate").set(res.achievedRate);
+        metrics->gauge("serve.mean_batch_size").set(res.meanBatchSize);
+        metrics->gauge("serve.peak_queue_depth")
+            .set(static_cast<double>(res.peakQueueDepth));
+        metrics->accum("serve.queueing_us").merge(res.queueingUs);
+        metrics->accum("serve.prep_us").merge(res.prepUs);
+        metrics->accum("serve.compute_us").merge(res.computeUs);
+        metrics->accum("serve.total_us").merge(res.totalUs);
+        metrics
+            ->histogram("serve.latency_us_hist",
+                        res.latencyUs.bucketWidth(),
+                        res.latencyUs.buckets().size())
+            .merge(res.latencyUs);
+        for (std::size_t q = 0; q < res.perClass.size(); ++q) {
+            const ClassReport &c = res.perClass[q];
+            std::string prefix =
+                "serve.class" + std::to_string(q) + ".";
+            metrics->counter(prefix + "requests").add(c.requests);
+            metrics->counter(prefix + "violations").add(c.violations);
+            metrics->accum(prefix + "total_us").merge(c.totalUs);
+        }
+    }
     return res;
 }
 

@@ -118,12 +118,15 @@ struct ServeResult
  *
  * @param outcomes Optional: receives the per-request breakdowns in
  *                 completion order (batch by batch).
+ * @param metrics  Optional: receives the session's full instrument
+ *                 registry plus the `serve.*` instruments.
  */
 ServeResult serveWorkload(const platforms::PlatformConfig &platform,
                           const platforms::RunConfig &run,
                           const platforms::WorkloadBundle &bundle,
                           const ServeConfig &cfg,
-                          std::vector<RequestOutcome> *outcomes = nullptr);
+                          std::vector<RequestOutcome> *outcomes = nullptr,
+                          sim::MetricRegistry *metrics = nullptr);
 
 } // namespace beacongnn::serve
 

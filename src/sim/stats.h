@@ -46,15 +46,22 @@ class Accumulator
         _max = -std::numeric_limits<double>::infinity();
     }
 
+    /** Exact in-place merge of another accumulator. */
+    void
+    merge(const Accumulator &other)
+    {
+        _count += other._count;
+        _sum += other._sum;
+        _min = std::min(_min, other._min);
+        _max = std::max(_max, other._max);
+    }
+
     /** Exact merge of two accumulators. */
     friend Accumulator
     merged(const Accumulator &a, const Accumulator &b)
     {
-        Accumulator m;
-        m._count = a._count + b._count;
-        m._sum = a._sum + b._sum;
-        m._min = std::min(a._min, b._min);
-        m._max = std::max(a._max, b._max);
+        Accumulator m = a;
+        m.merge(b);
         return m;
     }
 
@@ -211,6 +218,24 @@ class IntervalTrace
             b += std::min(e, t1) - std::max(s, t0);
         }
         return b;
+    }
+
+    /** Union another trace's spans into this one (re-coalescing). */
+    void
+    merge(const IntervalTrace &other)
+    {
+        if (other.spans.empty())
+            return;
+        if (spans.empty()) {
+            spans = other.spans;
+            return;
+        }
+        std::vector<std::pair<Tick, Tick>> all = std::move(spans);
+        all.insert(all.end(), other.spans.begin(), other.spans.end());
+        std::sort(all.begin(), all.end());
+        spans.clear();
+        for (const auto &[s, e] : all)
+            add(s, e);
     }
 
     void clear() { spans.clear(); }

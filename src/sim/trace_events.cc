@@ -1,0 +1,108 @@
+#include "sim/trace_events.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace beacongnn::sim {
+
+bool
+TraceSink::full()
+{
+    if (evs.size() < maxEvents)
+        return false;
+    ++_dropped;
+    return true;
+}
+
+void
+TraceSink::complete(const char *name, const char *cat, std::uint32_t pid,
+                    std::uint32_t tid, Tick start, Tick end)
+{
+    if (full())
+        return;
+    evs.push_back({name, cat, 0, pid, tid, start, end - start, 'X'});
+}
+
+void
+TraceSink::beginAsync(const char *name, const char *cat,
+                      std::uint64_t id, Tick ts)
+{
+    if (full())
+        return;
+    evs.push_back({name, cat, id, 0, 0, ts, 0, 'b'});
+}
+
+void
+TraceSink::endAsync(const char *name, const char *cat, std::uint64_t id,
+                    Tick ts)
+{
+    if (full())
+        return;
+    evs.push_back({name, cat, id, 0, 0, ts, 0, 'e'});
+}
+
+void
+TraceSink::setProcessName(std::uint32_t pid, const std::string &name)
+{
+    processNames[pid] = name;
+}
+
+void
+TraceSink::setThreadName(std::uint32_t pid, std::uint32_t tid,
+                         const std::string &name)
+{
+    threadNames[{pid, tid}] = name;
+}
+
+namespace {
+
+/** Ticks (ns) to Chrome microseconds with ns resolution. */
+std::string
+fmtTs(Tick t)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu.%03u",
+                  static_cast<unsigned long long>(t / 1000),
+                  static_cast<unsigned>(t % 1000));
+    return buf;
+}
+
+} // namespace
+
+void
+TraceSink::write(std::ostream &os) const
+{
+    os << "{\"traceEvents\": [\n";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+    for (const auto &[pid, name] : processNames) {
+        sep();
+        os << "  {\"ph\": \"M\", \"name\": \"process_name\", \"pid\": "
+           << pid << ", \"tid\": 0, \"args\": {\"name\": \"" << name
+           << "\"}}";
+    }
+    for (const auto &[key, name] : threadNames) {
+        sep();
+        os << "  {\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": "
+           << key.first << ", \"tid\": " << key.second
+           << ", \"args\": {\"name\": \"" << name << "\"}}";
+    }
+    for (const Event &e : evs) {
+        sep();
+        os << "  {\"ph\": \"" << e.phase << "\", \"name\": \"" << e.name
+           << "\", \"cat\": \"" << e.cat << "\", \"pid\": " << e.pid
+           << ", \"tid\": " << e.tid << ", \"ts\": " << fmtTs(e.ts);
+        if (e.phase == 'X')
+            os << ", \"dur\": " << fmtTs(e.dur);
+        else
+            os << ", \"id\": " << e.id;
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+} // namespace beacongnn::sim

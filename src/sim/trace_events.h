@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Opt-in event trace in the Chrome trace-event JSON format, viewable
+ * in Perfetto / chrome://tracing.
+ *
+ * Two span shapes cover the simulator's needs (DESIGN.md §10):
+ *
+ *  - complete ("X") events place a duration on a (pid, tid) track —
+ *    used for per-die senses, per-channel transfers and batch spans,
+ *    where the track identifies the hardware unit;
+ *  - nestable async ("b"/"e") events keyed by (category, id) follow
+ *    one flash command's lifetime across units: the outer span is
+ *    created→parsed, with dispatch / sense / transfer / consume
+ *    children nested inside.
+ *
+ * Timestamps are microseconds (Chrome's unit) at nanosecond
+ * resolution; simulator Ticks are nanoseconds, so ts = tick / 1000.
+ * The sink caps its event count to bound memory on long runs and
+ * reports how many events were dropped.
+ */
+
+#ifndef BEACONGNN_SIM_TRACE_EVENTS_H
+#define BEACONGNN_SIM_TRACE_EVENTS_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/types.h"
+
+namespace beacongnn::sim {
+
+/** Collects Chrome trace events; write() emits the JSON document. */
+class TraceSink
+{
+  public:
+    /** @param max_events Events kept before dropping (memory bound). */
+    explicit TraceSink(std::size_t max_events = 4000000)
+        : maxEvents(max_events)
+    {
+    }
+
+    /** Complete event: [start, end) on track (pid, tid).
+     *  @p name and @p cat must outlive the sink (string literals). */
+    void complete(const char *name, const char *cat, std::uint32_t pid,
+                  std::uint32_t tid, Tick start, Tick end);
+
+    /** Open a nestable async span under (cat, id). */
+    void beginAsync(const char *name, const char *cat, std::uint64_t id,
+                    Tick ts);
+
+    /** Close the innermost open span of (cat, id). */
+    void endAsync(const char *name, const char *cat, std::uint64_t id,
+                  Tick ts);
+
+    /** Fresh id for a new async span family (one per command). */
+    std::uint64_t nextId() { return ++idSeq; }
+
+    // Track naming (emitted as metadata events).
+    void setProcessName(std::uint32_t pid, const std::string &name);
+    void setThreadName(std::uint32_t pid, std::uint32_t tid,
+                       const std::string &name);
+
+    std::size_t events() const { return evs.size(); }
+    std::size_t dropped() const { return _dropped; }
+
+    /** Emit the {"traceEvents": [...]} JSON document. */
+    void write(std::ostream &os) const;
+
+  private:
+    struct Event
+    {
+        const char *name;
+        const char *cat;
+        std::uint64_t id;  ///< Async span key (b/e only).
+        std::uint32_t pid;
+        std::uint32_t tid;
+        Tick ts;
+        Tick dur;          ///< X only.
+        char phase;        ///< 'X', 'b' or 'e'.
+    };
+
+    bool full();
+
+    std::vector<Event> evs;
+    std::map<std::uint32_t, std::string> processNames;
+    std::map<std::pair<std::uint32_t, std::uint32_t>, std::string>
+        threadNames;
+    std::size_t maxEvents;
+    std::size_t _dropped = 0;
+    std::uint64_t idSeq = 0;
+};
+
+} // namespace beacongnn::sim
+
+#endif // BEACONGNN_SIM_TRACE_EVENTS_H

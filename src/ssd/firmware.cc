@@ -135,6 +135,27 @@ Firmware::scrub(const dg::DirectGraphLayout &layout, const graph::Graph &g,
 }
 
 void
+Firmware::publishMetrics(sim::MetricRegistry &reg) const
+{
+    reg.counter("ssd.firmware.core_busy").add(coreBusyTime());
+    reg.counter("ssd.firmware.issue.busy_ticks")
+        .add(_issueCores.busyTime());
+    reg.counter("ssd.firmware.issue.requests")
+        .add(_issueCores.requests());
+    reg.counter("ssd.firmware.complete.busy_ticks")
+        .add(_completeCores.busyTime());
+    reg.counter("ssd.firmware.complete.requests")
+        .add(_completeCores.requests());
+    reg.counter("ssd.host_io.busy_ticks").add(_hostIo.busyTime());
+    reg.counter("ssd.host_io.requests").add(_hostIo.requests());
+    reg.counter("ssd.dram.busy_ticks").add(_dram.busyTime());
+    reg.counter("ssd.dram.bytes").add(_dram.bytesMoved());
+    reg.counter("ssd.pcie.busy_ticks").add(_pcie.busyTime());
+    reg.counter("ssd.pcie.bytes").add(_pcie.bytesMoved());
+    _ftl.publishMetrics(reg);
+}
+
+void
 Firmware::resetStats()
 {
     _issueCores.reset(std::max(1u, cfg.controller.cores / 2));

@@ -21,6 +21,7 @@
 #include "directgraph/verify.h"
 #include "flash/backend.h"
 #include "flash/page_store.h"
+#include "sim/metrics.h"
 #include "sim/resources.h"
 #include "ssd/config.h"
 #include "ssd/ecc.h"
@@ -152,6 +153,13 @@ class Firmware
                       const graph::Graph &g,
                       const graph::FeatureTable &features,
                       flash::PageStore &store);
+
+    /**
+     * Publish the frontend's instruments into @p reg under the `ssd.`
+     * namespace (`ssd.firmware.*` core pools, `ssd.host_io.*`,
+     * `ssd.dram.*`, `ssd.pcie.*`, `ssd.ftl.*`).
+     */
+    void publishMetrics(sim::MetricRegistry &reg) const;
 
     /** Reset frontend timing resources between runs. */
     void resetStats();

@@ -30,6 +30,7 @@ Ftl::advanceCursor()
 std::optional<flash::Ppa>
 Ftl::translate(Lpa lpa, bool write)
 {
+    ++_translations;
     auto it = map.find(lpa);
     if (it != map.end())
         return it->second;
@@ -100,6 +101,28 @@ Ftl::reserveBlocks(std::uint64_t count)
     for (auto b : out)
         reserved.insert(b);
     return out;
+}
+
+bool
+Ftl::reserveExact(const std::vector<flash::BlockId> &blocks)
+{
+    for (auto b : blocks) {
+        if (b >= nBlocks || isReserved(b) || regularUsed.count(b))
+            return false;
+    }
+    for (auto b : blocks)
+        reserved.insert(b);
+    return true;
+}
+
+void
+Ftl::publishMetrics(sim::MetricRegistry &reg) const
+{
+    reg.counter("ssd.ftl.translations").add(_translations);
+    reg.gauge("ssd.ftl.reserved_blocks")
+        .set(static_cast<double>(reserved.size()));
+    reg.gauge("ssd.ftl.mapped_pages")
+        .set(static_cast<double>(map.size()));
 }
 
 void

@@ -28,6 +28,7 @@
 #include "flash/address.h"
 #include "flash/config.h"
 #include "flash/page_store.h"
+#include "sim/metrics.h"
 
 namespace beacongnn::ssd {
 
@@ -110,6 +111,16 @@ class Ftl
      */
     std::vector<flash::BlockId> reserveBlocks(std::uint64_t count);
 
+    /**
+     * Mirror an existing reservation: reserve exactly @p blocks (the
+     * list a layout was built against on another FTL instance), so a
+     * run's live FTL and the bundle's layout can never diverge.
+     *
+     * All-or-nothing: no block is reserved unless every one is in
+     * range, unreserved, and free of regular data.
+     */
+    bool reserveExact(const std::vector<flash::BlockId> &blocks);
+
     /** Return previously reserved blocks to regular management. */
     void releaseBlocks(const std::vector<flash::BlockId> &blocks);
 
@@ -150,6 +161,12 @@ class Ftl
 
     const flash::AddressCodec &addressCodec() const { return codec; }
 
+    /** LPA translations served (read + write paths). */
+    std::uint64_t translations() const { return _translations; }
+
+    /** Publish FTL instruments into @p reg under `ssd.ftl.*`. */
+    void publishMetrics(sim::MetricRegistry &reg) const;
+
   private:
     flash::AddressCodec codec;
     std::uint64_t nBlocks;
@@ -165,6 +182,7 @@ class Ftl
     flash::BlockId allocCursor = 0;  ///< Next candidate block.
     flash::Ppa writeCursor = 0;      ///< Next page in current block.
     bool cursorValid = false;
+    std::uint64_t _translations = 0;
 
     /** Advance to the next non-reserved block; false if exhausted. */
     bool advanceCursor();

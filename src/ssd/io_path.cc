@@ -38,6 +38,7 @@ IoPath::hostWrite(sim::Tick now, Lpa lpa,
     cmd.lba = lpa;
     cmd.bytes = flash_cfg.pageSize;
     res.nvme = queue.submit(start, cmd, device);
+    ++_writes;
 
     // Functional: land the bytes.
     res.ok = store.program(*ppa, data);
@@ -71,6 +72,7 @@ IoPath::hostRead(sim::Tick now, Lpa lpa, std::span<std::uint8_t> out)
     cmd.lba = lpa;
     cmd.bytes = flash_cfg.pageSize;
     res.nvme = queue.submit(start, cmd, device);
+    ++_reads;
 
     // Functional: copy the bytes out (with ECC verification).
     auto page = store.read(*ppa);
@@ -96,6 +98,7 @@ IoPath::garbageCollect(sim::Tick now)
         fw.ftl().onBlockErased(b);
         ++erased;
     }
+    _gcErased += erased;
     return erased;
 }
 

@@ -91,6 +91,16 @@ class IoPath
      */
     std::uint64_t garbageCollect(sim::Tick now);
 
+    /** Publish the regular-I/O path's instruments (`ssd.io.*`). */
+    void
+    publishMetrics(sim::MetricRegistry &reg) const
+    {
+        reg.counter("ssd.io.reads").add(_reads);
+        reg.counter("ssd.io.writes").add(_writes);
+        reg.counter("ssd.io.deferred").add(_deferred);
+        reg.counter("ssd.io.gc_blocks_erased").add(_gcErased);
+    }
+
   private:
     /** Defer service start while in acceleration mode. */
     sim::Tick
@@ -111,6 +121,9 @@ class IoPath
     NvmeQueuePair queue;
     sim::Tick accelUntil = 0;
     std::uint64_t _deferred = 0;
+    std::uint64_t _reads = 0;
+    std::uint64_t _writes = 0;
+    std::uint64_t _gcErased = 0;
 };
 
 } // namespace beacongnn::ssd

@@ -1,0 +1,550 @@
+/**
+ * @file
+ * MetricRegistry tests: instrument lifecycle (get-or-create, kind
+ * collision, lookup), merge semantics per kind, the CmdStats /
+ * PrepTally publish/fromRegistry round trip, snapshot export, the
+ * Chrome-trace sink, and the golden test pinning RunResult-from-
+ * registry to the pre-refactor values for a CC and a BG-2 run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "platforms/platform.h"
+#include "platforms/runner.h"
+#include "sim/metrics.h"
+#include "sim/trace_events.h"
+
+namespace {
+
+using namespace beacongnn;
+using sim::MetricRegistry;
+
+// ==================================================================
+// Registry basics.
+// ==================================================================
+
+TEST(MetricRegistry, GetOrCreateReturnsSameInstrument)
+{
+    MetricRegistry reg;
+    sim::Counter &a = reg.counter("flash.reads");
+    a.add(3);
+    sim::Counter &b = reg.counter("flash.reads");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 3u);
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_TRUE(reg.contains("flash.reads"));
+    EXPECT_FALSE(reg.contains("flash.writes"));
+}
+
+TEST(MetricRegistry, KindCollisionIsFatal)
+{
+    MetricRegistry reg;
+    reg.counter("x.y");
+    EXPECT_DEATH({ reg.gauge("x.y"); }, "already registered");
+}
+
+TEST(MetricRegistry, FindIsKindCheckedAndConst)
+{
+    MetricRegistry reg;
+    reg.counter("a").add(7);
+    reg.gauge("g").set(1.5);
+    reg.accum("m").add(2.0);
+    const MetricRegistry &cref = reg;
+    ASSERT_NE(cref.findCounter("a"), nullptr);
+    EXPECT_EQ(cref.findCounter("a")->value(), 7u);
+    EXPECT_EQ(cref.findCounter("g"), nullptr); // Wrong kind.
+    EXPECT_EQ(cref.findGauge("a"), nullptr);
+    EXPECT_EQ(cref.findAccum("missing"), nullptr);
+    ASSERT_NE(cref.findAccum("m"), nullptr);
+    EXPECT_DOUBLE_EQ(cref.findAccum("m")->sum(), 2.0);
+}
+
+TEST(MetricRegistry, HistogramGeometryAppliesOnCreation)
+{
+    MetricRegistry reg;
+    sim::Histogram &h = reg.histogram("h", 10.0, 32);
+    EXPECT_DOUBLE_EQ(h.bucketWidth(), 10.0);
+    EXPECT_EQ(h.buckets().size(), 32u);
+    // Second request with different geometry returns the original.
+    sim::Histogram &again = reg.histogram("h", 99.0, 4);
+    EXPECT_EQ(&h, &again);
+    EXPECT_EQ(again.buckets().size(), 32u);
+}
+
+TEST(MetricRegistry, ForEachIsSortedByName)
+{
+    MetricRegistry reg;
+    reg.counter("b");
+    reg.counter("a.z");
+    reg.counter("a.a");
+    std::vector<std::string> names;
+    reg.forEach([&](const std::string &n,
+                    const MetricRegistry::Instrument &) {
+        names.push_back(n);
+    });
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "a.a");
+    EXPECT_EQ(names[1], "a.z");
+    EXPECT_EQ(names[2], "b");
+}
+
+// ==================================================================
+// Merge semantics.
+// ==================================================================
+
+TEST(MetricRegistry, MergeCombinesEveryKind)
+{
+    MetricRegistry a;
+    a.counter("c").add(10);
+    a.gauge("g").set(1.0);
+    a.accum("m").add(2.0);
+    a.histogram("h", 1.0, 8).add(3.0);
+    a.interval("i").add(0, 5);
+
+    MetricRegistry b;
+    b.counter("c").add(32);
+    b.counter("only_b").add(1);
+    b.gauge("g").set(4.0);
+    b.accum("m").add(6.0);
+    b.histogram("h", 1.0, 8).add(3.5);
+    b.interval("i").add(5, 9); // Contiguous: coalesces with [0,5).
+
+    a.merge(b);
+    EXPECT_EQ(a.counter("c").value(), 42u);
+    EXPECT_EQ(a.counter("only_b").value(), 1u);
+    EXPECT_DOUBLE_EQ(a.gauge("g").value(), 4.0); // Last-write-wins.
+    EXPECT_EQ(a.accum("m").count(), 2u);
+    EXPECT_DOUBLE_EQ(a.accum("m").sum(), 8.0);
+    EXPECT_EQ(a.histogram("h").summary().count(), 2u);
+    EXPECT_EQ(a.interval("i").get().size(), 1u);
+    EXPECT_EQ(a.interval("i").busy(), 9u);
+}
+
+TEST(MetricRegistry, MergeIntoEmptyIsExactCopy)
+{
+    MetricRegistry src;
+    src.accum("m").add(1.25);
+    src.accum("m").add(-3.0);
+    src.histogram("h", 10.0, 1024).add(17.0);
+    src.interval("i").add(3, 7);
+    src.interval("i").add(10, 12);
+
+    MetricRegistry dst;
+    dst.merge(src);
+    const sim::Accumulator *m = dst.findAccum("m");
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->count(), 2u);
+    EXPECT_DOUBLE_EQ(m->sum(), -1.75);
+    EXPECT_DOUBLE_EQ(m->min(), -3.0);
+    EXPECT_DOUBLE_EQ(m->max(), 1.25);
+    const sim::Histogram *h = dst.findHistogram("h");
+    ASSERT_NE(h, nullptr);
+    EXPECT_DOUBLE_EQ(h->bucketWidth(), 10.0);
+    EXPECT_EQ(h->buckets().size(), 1024u);
+    const sim::IntervalTrace *i = dst.findInterval("i");
+    ASSERT_NE(i, nullptr);
+    EXPECT_EQ(i->get().size(), 2u);
+    EXPECT_EQ(i->busy(), 6u);
+}
+
+TEST(IntervalTraceMerge, UnionReCoalescesOverlaps)
+{
+    sim::IntervalTrace a;
+    a.add(0, 10);
+    a.add(20, 30);
+    sim::IntervalTrace b;
+    b.add(5, 22); // Bridges both of a's spans.
+    a.merge(b);
+    EXPECT_EQ(a.get().size(), 1u);
+    EXPECT_EQ(a.busy(), 30u);
+}
+
+TEST(AccumulatorMerge, MatchesMergedFriend)
+{
+    sim::Accumulator a, b;
+    a.add(1.0);
+    a.add(5.0);
+    b.add(-2.0);
+    sim::Accumulator via_friend = merged(a, b);
+    sim::Accumulator via_member = a;
+    via_member.merge(b);
+    EXPECT_EQ(via_member.count(), via_friend.count());
+    EXPECT_DOUBLE_EQ(via_member.sum(), via_friend.sum());
+    EXPECT_DOUBLE_EQ(via_member.min(), via_friend.min());
+    EXPECT_DOUBLE_EQ(via_member.max(), via_friend.max());
+}
+
+// ==================================================================
+// CmdStats / PrepTally aggregation API (the runBatch dedup).
+// ==================================================================
+
+TEST(CmdStats, MergeAccumulatesAllFields)
+{
+    engines::CmdStats a, b;
+    a.waitBefore.add(1.0);
+    a.lifetime.add(10.0);
+    a.lifetimeHist.add(10.0);
+    b.waitBefore.add(3.0);
+    b.flashTime.add(2.0);
+    b.lifetime.add(20.0);
+    b.lifetimeHist.add(20.0);
+    a.merge(b);
+    EXPECT_EQ(a.waitBefore.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.waitBefore.sum(), 4.0);
+    EXPECT_EQ(a.flashTime.count(), 1u);
+    EXPECT_EQ(a.lifetime.count(), 2u);
+    EXPECT_EQ(a.lifetimeHist.summary().count(), 2u);
+}
+
+TEST(CmdStats, PublishFromRegistryRoundTrips)
+{
+    engines::CmdStats batch1, batch2;
+    batch1.waitBefore.add(1.5);
+    batch1.flashTime.add(0.5);
+    batch1.waitAfter.add(0.25);
+    batch1.lifetime.add(2.25);
+    batch1.lifetimeHist.add(2.25);
+    batch2.lifetime.add(7.0);
+    batch2.lifetimeHist.add(7.0);
+
+    MetricRegistry reg;
+    batch1.publish(reg);
+    batch2.publish(reg);
+
+    engines::CmdStats manual = batch1;
+    manual.merge(batch2);
+    engines::CmdStats round =
+        engines::CmdStats::fromRegistry(reg);
+    EXPECT_EQ(round.lifetime.count(), manual.lifetime.count());
+    EXPECT_DOUBLE_EQ(round.lifetime.sum(), manual.lifetime.sum());
+    EXPECT_DOUBLE_EQ(round.waitBefore.sum(), manual.waitBefore.sum());
+    EXPECT_EQ(round.lifetimeHist.summary().count(),
+              manual.lifetimeHist.summary().count());
+    EXPECT_DOUBLE_EQ(round.lifetimeHist.percentile(50),
+                     manual.lifetimeHist.percentile(50));
+}
+
+TEST(CmdStats, FromRegistryOnEmptyIsDefault)
+{
+    MetricRegistry reg;
+    engines::CmdStats s = engines::CmdStats::fromRegistry(reg);
+    EXPECT_EQ(s.lifetime.count(), 0u);
+    EXPECT_EQ(s.lifetimeHist.summary().count(), 0u);
+}
+
+TEST(PrepTally, MergeAndRegistryRoundTrip)
+{
+    engines::PrepTally a, b;
+    a.flashReads = 10;
+    a.channelBytes = 4096;
+    a.hostCpuBusy = 77;
+    b.flashReads = 5;
+    b.pcieBytes = 512;
+    b.abortedCommands = 1;
+
+    MetricRegistry reg;
+    a.publish(reg);
+    b.publish(reg);
+    a.merge(b);
+    engines::PrepTally round =
+        engines::PrepTally::fromRegistry(reg);
+    EXPECT_EQ(round.flashReads, a.flashReads);
+    EXPECT_EQ(round.channelBytes, a.channelBytes);
+    EXPECT_EQ(round.pcieBytes, a.pcieBytes);
+    EXPECT_EQ(round.hostCpuBusy, a.hostCpuBusy);
+    EXPECT_EQ(round.abortedCommands, a.abortedCommands);
+}
+
+// ==================================================================
+// Snapshot export.
+// ==================================================================
+
+TEST(MetricRegistry, JsonSnapshotListsEveryInstrument)
+{
+    MetricRegistry reg;
+    reg.counter("flash.reads").add(7);
+    reg.gauge("run.die_util").set(0.25);
+    reg.accum("engine.cmd.lifetime_us").add(3.5);
+    reg.histogram("h", 2.0, 4).add(5.0);
+    reg.interval("i").add(1, 4);
+    std::ostringstream os;
+    reg.writeJson(os);
+    std::string json = os.str();
+    EXPECT_NE(json.find("\"flash.reads\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"counter\""), std::string::npos);
+    EXPECT_NE(json.find("\"value\": 7"), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"gauge\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"accumulator\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"histogram\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"interval\""), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}'); // An embeddable object, no newline.
+}
+
+TEST(MetricRegistry, CsvSnapshotHasHeaderAndRows)
+{
+    MetricRegistry reg;
+    reg.counter("a").add(1);
+    reg.accum("b").add(2.0);
+    std::ostringstream os;
+    MetricRegistry::writeCsvHeader(os, "platform,");
+    reg.writeCsv(os, "BG-2,");
+    std::string csv = os.str();
+    EXPECT_NE(csv.find("platform,name,kind"), std::string::npos);
+    EXPECT_NE(csv.find("BG-2,a,counter"), std::string::npos);
+    EXPECT_NE(csv.find("BG-2,b,accumulator"), std::string::npos);
+}
+
+// ==================================================================
+// Chrome-trace sink.
+// ==================================================================
+
+TEST(TraceSink, EmitsCompleteAndAsyncEvents)
+{
+    sim::TraceSink sink;
+    sink.setProcessName(1, "flash dies");
+    sink.setThreadName(1, 3, "ch0.die3");
+    sink.complete("sense", "flash", 1, 3, sim::Tick{1500},
+                  sim::Tick{4500});
+    std::uint64_t id = sink.nextId();
+    sink.beginAsync("cmd", "cmd", id, 1000);
+    sink.endAsync("cmd", "cmd", id, 9000);
+    EXPECT_EQ(sink.events(), 3u);
+    EXPECT_EQ(sink.dropped(), 0u);
+
+    std::ostringstream os;
+    sink.write(os);
+    std::string json = os.str();
+    EXPECT_EQ(json.rfind("{\"traceEvents\": [", 0), 0u);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"b\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"e\""), std::string::npos);
+    EXPECT_NE(json.find("process_name"), std::string::npos);
+    EXPECT_NE(json.find("ch0.die3"), std::string::npos);
+    // Tick 1500 ns = 1.500 us in the exported microsecond clock.
+    EXPECT_NE(json.find("\"ts\": 1.500"), std::string::npos);
+}
+
+TEST(TraceSink, DropsBeyondCapacity)
+{
+    sim::TraceSink sink(2);
+    sink.complete("a", "c", 0, 0, 0, 1);
+    sink.complete("b", "c", 0, 0, 1, 2);
+    sink.complete("c", "c", 0, 0, 2, 3);
+    EXPECT_EQ(sink.events(), 2u);
+    EXPECT_EQ(sink.dropped(), 1u);
+}
+
+// ==================================================================
+// End-to-end: RunResult populated from the registry must equal the
+// pre-refactor values (golden, recorded before the registry landed),
+// and the snapshot must cover every layer's namespace.
+// ==================================================================
+
+class MetricsGolden : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        gnn::ModelConfig model;
+        model.hops = 2;
+        model.fanout = 2;
+        model.hiddenDim = 128;
+        model.seed = 0xBEAC0;
+        graph::WorkloadSpec spec = graph::workload("amazon");
+        spec.simNodes = 2000;
+        platforms::RunConfig rc;
+        rc.batchSize = 16;
+        rc.batches = 2;
+        bundle = platforms::makeBundle(spec, rc.system.flash, model)
+                     .release();
+        run = rc;
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete bundle;
+        bundle = nullptr;
+    }
+
+    static platforms::WorkloadBundle *bundle;
+    static platforms::RunConfig run;
+};
+
+platforms::WorkloadBundle *MetricsGolden::bundle = nullptr;
+platforms::RunConfig MetricsGolden::run;
+
+TEST_F(MetricsGolden, CcRunMatchesPreRefactorValues)
+{
+    platforms::RunResult r = platforms::runPlatform(
+        platforms::makePlatform(platforms::PlatformKind::CC), run,
+        *bundle);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.targets, 32u);
+    EXPECT_EQ(r.prepTime, 876780u);
+    EXPECT_EQ(r.totalTime, 878155u);
+    EXPECT_DOUBLE_EQ(r.throughput, 36440.036212285988);
+    EXPECT_EQ(r.tally.flashReads, 458u);
+    EXPECT_EQ(r.tally.channelBytes, 1875968u);
+    EXPECT_EQ(r.tally.dramBytes, 1875968u);
+    EXPECT_EQ(r.tally.pcieBytes, 1965568u);
+    EXPECT_EQ(r.tally.hostCpuBusy, 2037440u);
+    EXPECT_EQ(r.tally.featureBytes, 89600u);
+    EXPECT_EQ(r.tally.abortedCommands, 0u);
+    EXPECT_EQ(r.cmdStats.lifetime.count(), 458u);
+    EXPECT_DOUBLE_EQ(r.cmdStats.lifetime.sum(), 28972.661999999989);
+    EXPECT_DOUBLE_EQ(r.cmdStats.lifetime.mean(), 63.259087336244519);
+    EXPECT_DOUBLE_EQ(r.cmdStats.waitBefore.sum(), 23315.040000000074);
+    EXPECT_DOUBLE_EQ(r.cmdStats.flashTime.sum(), 3718.9599999999787);
+    EXPECT_DOUBLE_EQ(r.cmdStats.waitAfter.sum(), 1938.6619999999971);
+    EXPECT_EQ(r.cmdStats.lifetimeHist.summary().count(), 458u);
+    EXPECT_DOUBLE_EQ(r.cmdStats.lifetimeHist.percentile(50),
+                     56.274509803921568);
+    EXPECT_DOUBLE_EQ(r.cmdStats.lifetimeHist.percentile(99),
+                     140.84000000000003);
+    EXPECT_DOUBLE_EQ(r.dieUtil, 0.012223781678633043);
+    EXPECT_DOUBLE_EQ(r.channelUtil, 0.16689536585226983);
+    EXPECT_DOUBLE_EQ(r.coreUtil, 0.052154801828834314);
+    EXPECT_DOUBLE_EQ(r.dramUtil, 0.26703258536363172);
+    EXPECT_DOUBLE_EQ(r.pcieUtil, 0.27978659803793182);
+    EXPECT_EQ(r.accelBusy, 2750u);
+    EXPECT_EQ(r.hostBusy, 2037440u);
+    EXPECT_DOUBLE_EQ(r.energy.total(), 0.0043356781544000005);
+    EXPECT_DOUBLE_EQ(r.energy.flash, 0.00013740000000000001);
+    EXPECT_DOUBLE_EQ(r.energy.dram, 0.0003282944);
+    EXPECT_DOUBLE_EQ(r.energy.pcie, 0.00029483519999999998);
+    EXPECT_DOUBLE_EQ(r.energy.cores, 6.4120000000000003e-05);
+    EXPECT_DOUBLE_EQ(r.energy.accel, 3.8252544000000002e-06);
+    EXPECT_DOUBLE_EQ(r.energy.engines, 0.0);
+    EXPECT_DOUBLE_EQ(r.energy.channel, 0.0001875968);
+    EXPECT_DOUBLE_EQ(r.energy.hostCpu, 0.0030561600000000005);
+    EXPECT_DOUBLE_EQ(r.energy.background, 0.00026344649999999998);
+    EXPECT_DOUBLE_EQ(r.avgPowerW, 4.9372584047235399);
+    EXPECT_EQ(r.hops.size(), 3u);
+    EXPECT_EQ(r.lastBatchStart, 442652u);
+    EXPECT_EQ(r.lastSubgraph.size(), 112u);
+}
+
+TEST_F(MetricsGolden, Bg2RunMatchesPreRefactorValues)
+{
+    platforms::RunResult r = platforms::runPlatform(
+        platforms::makePlatform(platforms::PlatformKind::BG2), run,
+        *bundle);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.targets, 32u);
+    EXPECT_EQ(r.prepTime, 121025u);
+    EXPECT_EQ(r.totalTime, 133589u);
+    EXPECT_DOUBLE_EQ(r.throughput, 239540.68074467208);
+    EXPECT_EQ(r.tally.flashReads, 234u);
+    EXPECT_EQ(r.tally.channelBytes, 95768u);
+    EXPECT_EQ(r.tally.dramBytes, 89600u);
+    EXPECT_EQ(r.tally.pcieBytes, 0u);
+    EXPECT_EQ(r.tally.hostCpuBusy, 1920u);
+    EXPECT_EQ(r.tally.featureBytes, 89600u);
+    EXPECT_EQ(r.tally.abortedCommands, 0u);
+    EXPECT_EQ(r.cmdStats.lifetime.count(), 234u);
+    EXPECT_DOUBLE_EQ(r.cmdStats.lifetime.sum(), 1228.8400000000004);
+    EXPECT_DOUBLE_EQ(r.cmdStats.lifetime.mean(), 5.251452991452993);
+    EXPECT_DOUBLE_EQ(r.cmdStats.waitBefore.sum(), 190.88999999999999);
+    EXPECT_DOUBLE_EQ(r.cmdStats.flashTime.sum(), 874.57000000000244);
+    EXPECT_DOUBLE_EQ(r.cmdStats.waitAfter.sum(), 163.37999999999988);
+    EXPECT_EQ(r.cmdStats.lifetimeHist.summary().count(), 234u);
+    EXPECT_DOUBLE_EQ(r.cmdStats.lifetimeHist.percentile(50),
+                     5.1769911504424782);
+    EXPECT_DOUBLE_EQ(r.cmdStats.lifetimeHist.percentile(99),
+                     12.869999999999999);
+    EXPECT_DOUBLE_EQ(r.dieUtil, 0.044145429264385541);
+    EXPECT_DOUBLE_EQ(r.channelUtil, 0.056006669710829488);
+    EXPECT_DOUBLE_EQ(r.coreUtil, 0.0);
+    EXPECT_DOUBLE_EQ(r.dramUtil, 0.16767847652127046);
+    EXPECT_DOUBLE_EQ(r.pcieUtil, 0.0);
+    EXPECT_EQ(r.accelBusy, 25128u);
+    EXPECT_EQ(r.hostBusy, 1920u);
+    EXPECT_DOUBLE_EQ(r.energy.total(), 0.0001424415136);
+    EXPECT_DOUBLE_EQ(r.energy.flash, 7.0199999999999999e-05);
+    EXPECT_DOUBLE_EQ(r.energy.dram, 1.5679999999999999e-05);
+    EXPECT_DOUBLE_EQ(r.energy.pcie, 0.0);
+    EXPECT_DOUBLE_EQ(r.energy.cores, 0.0);
+    EXPECT_DOUBLE_EQ(r.energy.accel, 3.9975936000000001e-06);
+    EXPECT_DOUBLE_EQ(r.energy.engines, 3.0420000000000004e-08);
+    EXPECT_DOUBLE_EQ(r.energy.channel, 9.5767999999999995e-06);
+    EXPECT_DOUBLE_EQ(r.energy.hostCpu, 2.8799999999999995e-06);
+    EXPECT_DOUBLE_EQ(r.energy.background, 4.0076700000000002e-05);
+    EXPECT_DOUBLE_EQ(r.avgPowerW, 1.0662667854389207);
+    EXPECT_EQ(r.hops.size(), 3u);
+    EXPECT_EQ(r.lastBatchStart, 61215u);
+    EXPECT_EQ(r.lastSubgraph.size(), 112u);
+}
+
+TEST_F(MetricsGolden, SnapshotCoversEveryLayerNamespace)
+{
+    MetricRegistry reg;
+    platforms::RunResult r = platforms::runPlatform(
+        platforms::makePlatform(platforms::PlatformKind::BG2), run,
+        *bundle, &reg);
+    ASSERT_TRUE(r.ok);
+    ASSERT_FALSE(reg.empty());
+
+    // One representative instrument per layer.
+    ASSERT_NE(reg.findCounter("flash.reads"), nullptr);
+    EXPECT_GT(reg.findCounter("flash.reads")->value(), 0u);
+    ASSERT_NE(reg.findCounter("flash.ch0.die0.sense_ticks"), nullptr);
+    ASSERT_NE(reg.findCounter("ssd.firmware.core_busy"), nullptr);
+    ASSERT_NE(reg.findCounter("ssd.ftl.translations"), nullptr);
+    ASSERT_NE(reg.findAccum("engine.cmd.lifetime_us"), nullptr);
+    EXPECT_EQ(reg.findAccum("engine.cmd.lifetime_us")->count(),
+              r.cmdStats.lifetime.count());
+    ASSERT_NE(reg.findCounter("engine.router.frames_parsed"), nullptr);
+    ASSERT_NE(reg.findCounter("engine.sampler.executed"), nullptr);
+    ASSERT_NE(reg.findCounter("accel.macs"), nullptr);
+    ASSERT_NE(reg.findGauge("energy.total_j"), nullptr);
+    EXPECT_DOUBLE_EQ(reg.findGauge("energy.total_j")->value(),
+                     r.energy.total());
+    ASSERT_NE(reg.findGauge("run.throughput"), nullptr);
+    EXPECT_DOUBLE_EQ(reg.findGauge("run.throughput")->value(),
+                     r.throughput);
+
+    // The registry's tallies equal the RunResult's (same source).
+    EXPECT_EQ(reg.findCounter("engine.flash_reads")->value(),
+              r.tally.flashReads);
+    EXPECT_EQ(reg.findCounter("run.targets")->value(), r.targets);
+}
+
+TEST_F(MetricsGolden, TraceSinkRecordsCommandLifetimes)
+{
+    platforms::RunConfig rc = run;
+    sim::TraceSink sink;
+    rc.traceSink = &sink;
+    platforms::RunResult r = platforms::runPlatform(
+        platforms::makePlatform(platforms::PlatformKind::BG2), rc,
+        *bundle);
+    ASSERT_TRUE(r.ok);
+    EXPECT_GT(sink.events(), 0u);
+    std::ostringstream os;
+    sink.write(os);
+    std::string json = os.str();
+    // Command spans with nested phases, flash ops, batch spans.
+    EXPECT_NE(json.find("\"name\": \"cmd\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"sense\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"xfer\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"batch\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"route\""), std::string::npos);
+}
+
+TEST_F(MetricsGolden, ReserveExactMirrorsTheBundleBlocks)
+{
+    // The session FTL must hold exactly the bundle's reserved blocks.
+    ssd::Ftl ftl(run.system.flash);
+    ASSERT_TRUE(ftl.reserveExact(bundle->layout.blocks));
+    for (flash::BlockId b : bundle->layout.blocks)
+        EXPECT_TRUE(ftl.isReserved(b));
+    // Mirroring twice must fail (already reserved), not double-book.
+    EXPECT_FALSE(ftl.reserveExact(bundle->layout.blocks));
+}
+
+} // namespace

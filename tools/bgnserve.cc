@@ -29,6 +29,8 @@
 #include "serve/report.h"
 #include "serve/serve.h"
 #include "sim/executor.h"
+#include "sim/metrics.h"
+#include "sim/trace_events.h"
 
 using namespace beacongnn;
 using namespace beacongnn::serve;
@@ -58,7 +60,11 @@ usage(const char *argv0, int status = 2)
         "  --channels N / --dies N   SSD geometry\n"
         "  --jobs N            parallel workers for the sweep\n"
         "  --csv FILE          append CSV rows to FILE\n"
-        "  --breakdown         print per-QoS-class breakdown per rate\n",
+        "  --breakdown         print per-QoS-class breakdown per rate\n"
+        "  --metrics FILE      dump every instrument as JSON\n"
+        "  --metrics-csv FILE  dump every instrument as CSV\n"
+        "  --trace FILE        Chrome-trace event file (single sweep "
+        "point only)\n",
         argv0);
     std::exit(status);
 }
@@ -88,7 +94,7 @@ main(int argc, char **argv)
     std::string workload_list = "amazon";
     std::string rate_list = "500,1000,2000,4000";
     std::string slo_list;
-    std::string csv_path;
+    std::string csv_path, metrics_path, metrics_csv_path, trace_path;
     graph::NodeId nodes = 0;
     bool breakdown = false;
 
@@ -145,6 +151,9 @@ main(int argc, char **argv)
                     static_cast<unsigned>(v));
         }
         else if (a == "--csv") csv_path = next();
+        else if (a == "--metrics") metrics_path = next();
+        else if (a == "--metrics-csv") metrics_csv_path = next();
+        else if (a == "--trace") trace_path = next();
         else if (a == "--breakdown") breakdown = true;
         else if (a == "--help" || a == "-h") usage(argv[0], 0);
         else {
@@ -214,6 +223,18 @@ main(int argc, char **argv)
     const std::size_t nw = specs.size();
     const std::size_t total = kinds.size() * nw * nr;
 
+    if (!trace_path.empty() && total != 1) {
+        std::fprintf(stderr, "bgnserve: --trace requires a single "
+                             "sweep point\n");
+        return 2;
+    }
+    const bool want_metrics =
+        !metrics_path.empty() || !metrics_csv_path.empty();
+    std::vector<sim::MetricRegistry> regs(want_metrics ? total : 0);
+    sim::TraceSink sink;
+    if (!trace_path.empty())
+        rc.traceSink = &sink;
+
     sim::SimExecutor ex;
     if (total > 1)
         // stderr: stdout stays byte-identical across worker counts.
@@ -226,7 +247,8 @@ main(int argc, char **argv)
         ServeConfig point = sc;
         point.arrivals.ratePerSec = rates[r];
         return serveWorkload(platforms::makePlatform(kinds[k]), rc,
-                             *bundles[w], point);
+                             *bundles[w], point, nullptr,
+                             want_metrics ? &regs[i] : nullptr);
     });
 
     std::ofstream csv;
@@ -270,5 +292,38 @@ main(int argc, char **argv)
     if (csv.is_open())
         std::printf("\nappended %zu CSV row(s) to %s\n", total,
                     csv_path.c_str());
+
+    if (!metrics_path.empty()) {
+        std::ofstream out(metrics_path);
+        out << "{\"runs\": [";
+        for (std::size_t i = 0; i < total; ++i) {
+            out << (i == 0 ? "\n" : ",\n");
+            out << "{\"platform\": \"" << results[i].platform
+                << "\", \"workload\": \"" << results[i].workload
+                << "\", \"offered_rate\": " << results[i].offeredRate
+                << ", \"metrics\": ";
+            regs[i].writeJson(out);
+            out << "}";
+        }
+        out << "\n]}\n";
+        std::printf("wrote metrics snapshot to %s\n",
+                    metrics_path.c_str());
+    }
+    if (!metrics_csv_path.empty()) {
+        std::ofstream out(metrics_csv_path);
+        sim::MetricRegistry::writeCsvHeader(out, "platform,workload,");
+        for (std::size_t i = 0; i < total; ++i)
+            regs[i].writeCsv(out, results[i].platform + "," +
+                                      results[i].workload + ",");
+        std::printf("wrote metrics CSV to %s\n",
+                    metrics_csv_path.c_str());
+    }
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        sink.write(out);
+        std::printf("wrote %zu trace event(s) to %s%s\n",
+                    sink.events(), trace_path.c_str(),
+                    sink.dropped() ? " (truncated)" : "");
+    }
     return ok ? 0 : 1;
 }

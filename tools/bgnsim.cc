@@ -8,13 +8,17 @@
  *   bgnsim --platform BG-2 --workload amazon --batches 4 \
  *          --batch-size 128 --channels 16 --dies 8 --cores 4 \
  *          --page-kb 4 --channel-mbps 800 --traditional \
- *          --nodes 30000 --trace --csv out.csv
+ *          --nodes 30000 --trace-util --csv out.csv
  *
  * Prints a human-readable summary; optionally appends a CSV row for
  * scripting sweeps. --platform and --workload accept comma-separated
  * lists; the resulting grid runs in parallel on --jobs workers
  * (BGN_JOBS env var / hardware cores by default) with output in
  * deterministic grid order.
+ *
+ * Observability (DESIGN.md §10): --metrics/--metrics-csv dump every
+ * registered instrument of every run; --trace (single run only)
+ * writes a Chrome-trace-format event file loadable in Perfetto.
  */
 
 #include <cstdio>
@@ -28,6 +32,8 @@
 #include "platforms/report.h"
 #include "sim/executor.h"
 #include "sim/log.h"
+#include "sim/metrics.h"
+#include "sim/trace_events.h"
 #include "platforms/runner.h"
 
 using namespace beacongnn;
@@ -57,8 +63,12 @@ usage(const char *argv0)
         "  --dedupe            batch-level node deduplication\n"
         "  --no-coalesce       disable secondary coalescing\n"
         "  --seed N            target-selection seed\n"
-        "  --trace             collect utilization series\n"
-        "  --csv FILE          append a CSV result row to FILE\n",
+        "  --trace-util        collect utilization series\n"
+        "  --csv FILE          append a CSV result row to FILE\n"
+        "  --metrics FILE      dump every instrument as JSON\n"
+        "  --metrics-csv FILE  dump every instrument as CSV\n"
+        "  --trace FILE        Chrome-trace event file (single run "
+        "only; open in Perfetto)\n",
         argv0);
     std::exit(2);
 }
@@ -86,7 +96,7 @@ main(int argc, char **argv)
 {
     std::string platform_name = "BG-2";
     std::string workload_name = "amazon";
-    std::string csv_path;
+    std::string csv_path, metrics_path, metrics_csv_path, trace_path;
     graph::NodeId nodes = 0;
     RunConfig rc;
     rc.batchSize = 128;
@@ -136,8 +146,11 @@ main(int argc, char **argv)
                 sim::SimExecutor::setDefaultJobs(
                     static_cast<unsigned>(v));
         }
-        else if (a == "--trace") rc.traceUtilization = true;
+        else if (a == "--trace-util") rc.traceUtilization = true;
         else if (a == "--csv") csv_path = next();
+        else if (a == "--metrics") metrics_path = next();
+        else if (a == "--metrics-csv") metrics_csv_path = next();
+        else if (a == "--trace") trace_path = next();
         else usage(argv[0]);
     }
 
@@ -184,17 +197,31 @@ main(int argc, char **argv)
     const std::size_t nw = workloads.size();
     const std::size_t total = kinds.size() * nw;
 
+    if (!trace_path.empty() && total != 1) {
+        std::fprintf(stderr, "bgnsim: --trace requires a single "
+                             "platform/workload run\n");
+        return 2;
+    }
+    const bool want_metrics =
+        !metrics_path.empty() || !metrics_csv_path.empty();
+    std::vector<sim::MetricRegistry> regs(want_metrics ? total : 0);
+    sim::TraceSink sink;
+    if (!trace_path.empty())
+        rc.traceSink = &sink;
+
     std::vector<RunResult> results;
     if (total == 1) {
-        results.push_back(
-            runPlatform(configured(kinds[0]), rc, *bundles[0]));
+        results.push_back(runPlatform(configured(kinds[0]), rc,
+                                      *bundles[0],
+                                      want_metrics ? &regs[0] : nullptr));
     } else {
         sim::SimExecutor ex;
         std::printf("bgnsim: %zu-run grid on %u worker(s)\n", total,
                     ex.jobs());
         results = ex.map<RunResult>(total, [&](std::size_t i) {
             return runPlatform(configured(kinds[i / nw]), rc,
-                               *bundles[i % nw]);
+                               *bundles[i % nw],
+                               want_metrics ? &regs[i] : nullptr);
         });
     }
 
@@ -238,6 +265,38 @@ main(int argc, char **argv)
             writeCsvRow(out, r);
         std::printf("  appended %zu CSV row(s) to %s\n", results.size(),
                     csv_path.c_str());
+    }
+
+    if (!metrics_path.empty()) {
+        std::ofstream out(metrics_path);
+        out << "{\"runs\": [";
+        for (std::size_t i = 0; i < total; ++i) {
+            out << (i == 0 ? "\n" : ",\n");
+            out << "{\"platform\": \"" << results[i].platform
+                << "\", \"workload\": \"" << results[i].workload
+                << "\", \"metrics\": ";
+            regs[i].writeJson(out);
+            out << "}";
+        }
+        out << "\n]}\n";
+        std::printf("  wrote metrics snapshot to %s\n",
+                    metrics_path.c_str());
+    }
+    if (!metrics_csv_path.empty()) {
+        std::ofstream out(metrics_csv_path);
+        sim::MetricRegistry::writeCsvHeader(out, "platform,workload,");
+        for (std::size_t i = 0; i < total; ++i)
+            regs[i].writeCsv(out, results[i].platform + "," +
+                                      results[i].workload + ",");
+        std::printf("  wrote metrics CSV to %s\n",
+                    metrics_csv_path.c_str());
+    }
+    if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        sink.write(out);
+        std::printf("  wrote %zu trace event(s) to %s%s\n",
+                    sink.events(), trace_path.c_str(),
+                    sink.dropped() ? " (truncated)" : "");
     }
     return ok ? 0 : 1;
 }
