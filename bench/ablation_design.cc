@@ -22,6 +22,7 @@
 #include <set>
 
 #include "accel/systolic.h"
+#include "sim/ordered.h"
 
 using namespace bench;
 
@@ -54,7 +55,8 @@ coalescingAblation()
                     coalesce ? "coalesced" : "per-hit",
                     static_cast<unsigned long long>(
                         r.tally.flashReads),
-                    r.tally.channelBytes / 1024.0,
+                    static_cast<double>(r.tally.channelBytes) /
+                        1024.0,
                     sim::toMillis(r.prepTime), r.throughput);
     }
     std::printf("Coalescing removes redundant secondary-page reads "
@@ -93,7 +95,7 @@ stripingAblation()
         // Count distinct dies the layout touches.
         std::set<unsigned> dies;
         flash::AddressCodec codec(sys.flash);
-        for (const auto &[ppa, dir] : layout.pages)
+        for (auto ppa : sim::sortedKeys(layout.pages))
             dies.insert(codec.globalDieOf(ppa));
 
         // Time BG-2 on this layout.
@@ -182,7 +184,9 @@ acceleratorAblation()
                             : "OS",
                         static_cast<unsigned long long>(e.cycles),
                         100.0 * e.utilization(cfg),
-                        (e.sramReadBytes + e.sramWriteBytes) / 1024.0);
+                        static_cast<double>(e.sramReadBytes +
+                                            e.sramWriteBytes) /
+                            1024.0);
         }
     }
     std::printf("The 32x32 WS point (Table II's SSD budget) balances "

@@ -20,8 +20,11 @@ timelineRow(const char *label, const engines::HopSpan &h,
     std::printf("  %-10s", label);
     double scale = static_cast<double>(width) /
                    static_cast<double>(std::max<sim::Tick>(1, horizon));
-    int a = static_cast<int>((h.first - origin) * scale);
-    int b = std::max(a + 1, static_cast<int>((h.last - origin) * scale));
+    int a = static_cast<int>(static_cast<double>(h.first - origin) *
+                             scale);
+    int b = std::max(
+        a + 1, static_cast<int>(static_cast<double>(h.last - origin) *
+                                scale));
     for (int i = 0; i < width && i < a; ++i)
         std::putchar(' ');
     for (int i = a; i < b && i < width; ++i)

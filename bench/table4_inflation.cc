@@ -27,7 +27,8 @@ main()
         const auto &st = b.layout.stats;
         std::printf("%-10s %10.1f %12.1f %12.1f %9.1f%% %9.1f%% %12llu\n",
                     name.c_str(), spec.paperRawGB,
-                    st.rawBytes / 1048576.0, st.flashBytes / 1048576.0,
+                    static_cast<double>(st.rawBytes) / 1048576.0,
+                    static_cast<double>(st.flashBytes) / 1048576.0,
                     st.inflatePct(), spec.paperInflatePct,
                     static_cast<unsigned long long>(
                         st.secondaryPages));

@@ -47,7 +47,7 @@ serveQueries(platforms::PlatformKind kind, const graph::Graph &g,
     for (double v : lat)
         sum += v;
     return {lat[lat.size() / 2], lat[lat.size() * 95 / 100],
-            sum / lat.size()};
+            sum / static_cast<double>(lat.size())};
 }
 
 } // namespace

@@ -67,14 +67,18 @@ main()
                 sim::toMicros(r.computeTime));
     std::printf("  channel traffic    : %.1f KB (vs %.1f KB of raw "
                 "pages)\n",
-                r.prep.tally.channelBytes / 1024.0,
-                r.prep.tally.flashReads * 4096 / 1024.0);
+                static_cast<double>(r.prep.tally.channelBytes) /
+                    1024.0,
+                static_cast<double>(r.prep.tally.flashReads * 4096) /
+                    1024.0);
     std::printf("  bytes over PCIe    : %llu\n",
                 static_cast<unsigned long long>(r.prep.tally.pcieBytes));
 
     std::printf("\nFirst 8 dims of target 0's embedding: ");
     for (int i = 0; i < 8; ++i)
-        std::printf("%+.3f ", r.embeddings[0][static_cast<std::size_t>(i)]);
+        std::printf("%+.3f ",
+                    static_cast<double>(
+                        r.embeddings[0][static_cast<std::size_t>(i)]));
     std::printf("\nDone.\n");
     return 0;
 }

@@ -34,8 +34,10 @@ main()
                 bundle->features.dim());
     std::printf("DirectGraph conversion: %.1f MB raw -> %.1f MB flash "
                 "(%.1f%% inflation)\n\n",
-                bundle->layout.stats.rawBytes / 1048576.0,
-                bundle->layout.stats.flashBytes / 1048576.0,
+                static_cast<double>(bundle->layout.stats.rawBytes) /
+                    1048576.0,
+                static_cast<double>(bundle->layout.stats.flashBytes) /
+                    1048576.0,
                 bundle->layout.stats.inflatePct());
 
     RunConfig rc;
@@ -57,19 +59,24 @@ main()
         std::printf("%-12s %14.0f %12.2f %12.3f %14.2f %10.1f\n",
                     p.name.c_str(), r.throughput,
                     sim::toMillis(r.totalTime),
-                    1000.0 * r.energy.total() / r.targets,
-                    r.tally.pcieBytes / 1048576.0, r.avgPowerW);
+                    1000.0 * r.energy.total() /
+                        static_cast<double>(r.targets),
+                    static_cast<double>(r.tally.pcieBytes) / 1048576.0,
+                    r.avgPowerW);
     }
 
     std::printf("\nBeaconGNN-2.0 vs the CPU-centric pipeline:\n");
     std::printf("  %.1fx training throughput\n",
                 bg2.throughput / cc.throughput);
     std::printf("  %.1fx better energy per target\n",
-                (cc.energy.total() / cc.targets) /
-                    (bg2.energy.total() / bg2.targets));
+                (cc.energy.total() /
+                 static_cast<double>(cc.targets)) /
+                    (bg2.energy.total() /
+                     static_cast<double>(bg2.targets)));
     if (bg2.tally.pcieBytes == 0) {
         std::printf("  %.0f MB of PCIe traffic eliminated entirely\n",
-                    cc.tally.pcieBytes / 1048576.0);
+                    static_cast<double>(cc.tally.pcieBytes) /
+                        1048576.0);
     } else {
         std::printf("  %.0fx less PCIe traffic\n",
                     static_cast<double>(cc.tally.pcieBytes) /

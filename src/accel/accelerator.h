@@ -50,7 +50,7 @@ struct ComputeEstimate
 class Accelerator
 {
   public:
-    explicit Accelerator(const AcceleratorConfig &cfg) : cfg(cfg) {}
+    explicit Accelerator(const AcceleratorConfig &cfg_) : cfg(cfg_) {}
 
     const AcceleratorConfig &config() const { return cfg; }
 

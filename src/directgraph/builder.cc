@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "sim/log.h"
+#include "sim/ordered.h"
 
 namespace beacongnn::dg {
 
@@ -74,10 +75,11 @@ struct OpenPage
 class Packer
 {
   public:
-    Packer(DirectGraphLayout &layout, std::span<const flash::BlockId> blocks,
-           const flash::FlashConfig &cfg, const BuilderOptions &opts,
+    Packer(DirectGraphLayout &layout_,
+           std::span<const flash::BlockId> blocks_,
+           const flash::FlashConfig &cfg_, const BuilderOptions &opts,
            std::uint64_t &pages_used, std::uint64_t &blocks_touched)
-        : layout(layout), blocks(blocks), cfg(cfg),
+        : layout(layout_), blocks(blocks_), cfg(cfg_),
           poolLimit(std::max(1u, opts.openPagePool)),
           pagesUsed(pages_used), blocksTouched(blocks_touched)
     {
@@ -297,7 +299,9 @@ materialize(const DirectGraphLayout &layout, const graph::Graph &g,
             const graph::FeatureTable &features, flash::PageStore &store)
 {
     std::vector<std::uint8_t> buf(layout.pageSize);
-    for (const auto &[ppa, dir] : layout.pages) {
+    // Programming order is observable through PageStore program
+    // counters; walk the pages in sorted PPA order (BGN002).
+    for (flash::Ppa ppa : sim::sortedKeys(layout.pages)) {
         encodePageImage(layout, g, features, ppa, buf);
         if (!store.program(ppa, buf))
             sim::panic("materialize: page already programmed");

@@ -80,7 +80,9 @@ struct BuildStats
     {
         return rawBytes == 0
                    ? 0.0
-                   : 100.0 * (static_cast<double>(flashBytes) - rawBytes) /
+                   : 100.0 *
+                         (static_cast<double>(flashBytes) -
+                          static_cast<double>(rawBytes)) /
                          static_cast<double>(rawBytes);
     }
 };

@@ -41,8 +41,9 @@ class SectionSource
 class PageByteSource : public SectionSource
 {
   public:
-    PageByteSource(const flash::PageStore &store, std::uint16_t feature_dim)
-        : store(store), featureDim(feature_dim)
+    PageByteSource(const flash::PageStore &store_,
+                   std::uint16_t feature_dim)
+        : store(store_), featureDim(feature_dim)
     {
     }
 
@@ -64,8 +65,9 @@ class PageByteSource : public SectionSource
 class LayoutSource : public SectionSource
 {
   public:
-    LayoutSource(const DirectGraphLayout &layout, const graph::Graph &g)
-        : layout(layout), g(g)
+    LayoutSource(const DirectGraphLayout &layout_,
+                 const graph::Graph &graph_)
+        : layout(layout_), g(graph_)
     {
     }
 

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "sim/ordered.h"
+
 namespace beacongnn::dg {
 
 std::string
@@ -34,7 +36,11 @@ checkLayoutInvariants(const DirectGraphLayout &layout)
                    " of " + std::to_string(nl.degree) + " neighbours";
     }
 
-    for (const auto &[ppa, dir] : layout.pages) {
+    // Sorted walk so the *first* violation reported is the same on
+    // every build — a hash-order walk made the error message (and
+    // thus test expectations) nondeterministic on corrupt layouts.
+    for (flash::Ppa ppa : sim::sortedKeys(layout.pages)) {
+        const PageDirectory &dir = layout.pages.at(ppa);
         if (dir.sections.size() > kMaxSectionsPerPage)
             return "page " + std::to_string(ppa) +
                    ": too many sections";

@@ -54,9 +54,9 @@ class CommandRouter
      * @param flash    Geometry (queue per die).
      * @param depth    Dispatch-queue slots per die.
      */
-    CommandRouter(const ssd::EngineConfig &ecfg,
+    CommandRouter(const ssd::EngineConfig &ecfg_,
                   const flash::FlashConfig &flash, unsigned depth = 64)
-        : ecfg(ecfg), codec(flash), queueDepth(std::max(1u, depth))
+        : ecfg(ecfg_), codec(flash), queueDepth(std::max(1u, depth))
     {
         queues.resize(flash.totalDies());
     }

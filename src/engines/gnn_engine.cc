@@ -134,14 +134,16 @@ struct GnnEngine::Batch
     sim::Tick hopLast = 0;
 };
 
-GnnEngine::GnnEngine(sim::EventQueue &queue, flash::FlashBackend &backend,
+GnnEngine::GnnEngine(sim::EventQueue &queue_,
+                     flash::FlashBackend &backend_,
                      ssd::Firmware &firmware,
-                     const dg::DirectGraphLayout &layout,
-                     const graph::Graph &g, const gnn::ModelConfig &model,
+                     const dg::DirectGraphLayout &layout_,
+                     const graph::Graph &graph_,
+                     const gnn::ModelConfig &model_,
                      const PrepFlags &flags,
-                     const dg::SectionSource &source)
-    : queue(queue), backend(backend), fw(firmware), layout(layout), g(g),
-      model(model), _flags(flags), source(source),
+                     const dg::SectionSource &source_)
+    : queue(queue_), backend(backend_), fw(firmware), layout(layout_),
+      g(graph_), model(model_), _flags(flags), source(source_),
       sampler(firmware.config().engine,
               flash::GnnGlobalConfig{model.hops, model.fanout,
                                      model.featureDim, 2, model.seed},

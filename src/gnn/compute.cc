@@ -82,7 +82,8 @@ forward(const Subgraph &sg, const graph::FeatureTable &features,
                 inv = 1.0 / (1.0 + static_cast<double>(
                                        children[s].size()));
                 for (auto &v : agg)
-                    v = static_cast<float>(v * inv);
+                    v = static_cast<float>(static_cast<double>(v) *
+                                           inv);
             }
             perceptron(w, n_out, n_in, agg, next[s]);
         }

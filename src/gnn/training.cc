@@ -124,8 +124,9 @@ trainStep(const Subgraph &sg, const graph::FeatureTable &features,
             float y = pseudoLabel(entries[t].node, i, m.hiddenDim,
                                   m.seed);
             float diff = fc.act[m.hops][t][i] - y;
-            loss += 0.5 * diff * diff;
-            d_act[t][i] = static_cast<float>(diff / n);
+            double d = static_cast<double>(diff);
+            loss += 0.5 * d * d;
+            d_act[t][i] = static_cast<float>(d / n);
         }
     }
     res.loss = loss / n;
@@ -182,7 +183,7 @@ trainStep(const Subgraph &sg, const graph::FeatureTable &features,
     double norm2 = 0;
     for (const auto &gw : grads)
         for (float v : gw)
-            norm2 += static_cast<double>(v) * v;
+            norm2 += static_cast<double>(v) * static_cast<double>(v);
     res.gradNorm = std::sqrt(norm2);
     if (lr != 0.0f) {
         for (unsigned l = 0; l < m.hops; ++l)
@@ -226,7 +227,8 @@ evaluateLoss(const Subgraph &sg, const graph::FeatureTable &features,
             float y = pseudoLabel(entries[targets[t]].node, i,
                                   m.hiddenDim, m.seed);
             float diff = out[t][i] - y;
-            loss += 0.5 * diff * diff;
+            double d = static_cast<double>(diff);
+            loss += 0.5 * d * d;
         }
     }
     return n == 0 ? 0.0 : loss / n;

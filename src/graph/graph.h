@@ -102,8 +102,8 @@ class FeatureTable
      * @param dim  Feature dimension (elements per node).
      * @param seed Dataset seed.
      */
-    explicit FeatureTable(std::uint16_t dim, std::uint64_t seed = 7)
-        : _dim(dim), seed(seed)
+    explicit FeatureTable(std::uint16_t dim, std::uint64_t seed_ = 7)
+        : _dim(dim), seed(seed_)
     {
     }
 

@@ -41,9 +41,9 @@ struct Device
 class ArrayEngine
 {
   public:
-    ArrayEngine(const ArrayConfig &acfg, const RunConfig &run,
-                const WorkloadBundle &bundle)
-        : acfg(acfg), bundle(bundle),
+    ArrayEngine(const ArrayConfig &acfg_, const RunConfig &run,
+                const WorkloadBundle &bundle_)
+        : acfg(acfg_), bundle(bundle_),
           sampler(run.system.engine,
                   flash::GnnGlobalConfig{bundle.model.hops,
                                          bundle.model.fanout,

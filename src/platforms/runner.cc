@@ -211,7 +211,8 @@ PlatformSession::finish()
         static_cast<double>(
             reg.counter("ssd.firmware.core_busy").value()) /
         (static_cast<double>(horizon) *
-         (s.fw.issueCores().size() + s.fw.completeCores().size()));
+         static_cast<double>(s.fw.issueCores().size() +
+                             s.fw.completeCores().size()));
     res.dramUtil =
         static_cast<double>(reg.counter("ssd.dram.busy_ticks").value()) /
         static_cast<double>(horizon);

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic traversal helpers for unordered containers.
+ *
+ * The determinism contract (DESIGN.md §11, rule BGN002) bans direct
+ * iteration over std::unordered_map/set: hash order differs between
+ * standard libraries and builds, so a walk can leak nondeterminism
+ * into metrics, emitted files or event schedules. Hot paths keep
+ * their O(1) hash lookups; whenever a walk is needed, take a sorted
+ * key snapshot through this single audited helper instead of writing
+ * another range-for that rule BGN002 would (rightly) flag.
+ */
+
+#ifndef BEACONGNN_SIM_ORDERED_H
+#define BEACONGNN_SIM_ORDERED_H
+
+#include <algorithm>
+#include <type_traits>
+#include <vector>
+
+namespace beacongnn::sim {
+
+/**
+ * Keys of @p m (a map or a set), sorted ascending. The internal
+ * iteration order is irrelevant: the result is a set of keys,
+ * independent of hash order.
+ */
+template <typename Container>
+std::vector<typename Container::key_type>
+sortedKeys(const Container &m)
+{
+    using Key = typename Container::key_type;
+    std::vector<Key> keys;
+    keys.reserve(m.size());
+    for (const auto &entry : m) {
+        if constexpr (std::is_same_v<
+                          std::remove_cv_t<
+                              std::remove_reference_t<decltype(entry)>>,
+                          Key>)
+            keys.push_back(entry); // Set: the entry is the key.
+        else
+            keys.push_back(entry.first); // Map: (key, value) pairs.
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+}
+
+} // namespace beacongnn::sim
+
+#endif // BEACONGNN_SIM_ORDERED_H

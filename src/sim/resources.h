@@ -99,7 +99,8 @@ class ServerPool
         if (horizon == 0)
             return 0.0;
         return static_cast<double>(_busyTime) /
-               (static_cast<double>(horizon) * free.size());
+               (static_cast<double>(horizon) *
+                static_cast<double>(free.size()));
     }
 
     const std::string &name() const { return label; }
@@ -118,8 +119,8 @@ class ServerPool
 class Bus
 {
   public:
-    explicit Bus(std::string name = "bus", bool trace = false)
-        : label(std::move(name)), tracing(trace)
+    explicit Bus(std::string name = "bus", bool trace_busy = false)
+        : label(std::move(name)), tracing(trace_busy)
     {
     }
 
@@ -160,7 +161,8 @@ class Bus
     {
         return horizon == 0
                    ? 0.0
-                   : static_cast<double>(_busyTime) / horizon;
+                   : static_cast<double>(_busyTime) /
+                         static_cast<double>(horizon);
     }
 
     /** Busy intervals recorded while tracing was enabled. */
@@ -231,7 +233,8 @@ class BandwidthResource
     {
         return horizon == 0
                    ? 0.0
-                   : static_cast<double>(_busyTime) / horizon;
+                   : static_cast<double>(_busyTime) /
+                         static_cast<double>(horizon);
     }
 
     const std::string &name() const { return label; }

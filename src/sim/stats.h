@@ -35,7 +35,11 @@ class Accumulator
     double sum() const { return _sum; }
     double min() const { return _count ? _min : 0.0; }
     double max() const { return _count ? _max : 0.0; }
-    double mean() const { return _count ? _sum / _count : 0.0; }
+    double
+    mean() const
+    {
+        return _count ? _sum / static_cast<double>(_count) : 0.0;
+    }
 
     void
     clear()

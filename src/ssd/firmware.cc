@@ -3,11 +3,12 @@
 #include <algorithm>
 
 #include "sim/log.h"
+#include "sim/ordered.h"
 
 namespace beacongnn::ssd {
 
-Firmware::Firmware(const SystemConfig &cfg)
-    : cfg(cfg),
+Firmware::Firmware(const SystemConfig &cfg_)
+    : cfg(cfg_),
       _issueCores(std::max(1u, cfg.controller.cores / 2), "fw-issue"),
       _completeCores(std::max(1u, cfg.controller.cores -
                                       cfg.controller.cores / 2),
@@ -35,13 +36,7 @@ Firmware::flushDirectGraph(sim::Tick start,
 
     // Deterministic page order keeps timing reproducible across runs
     // (unordered_map iteration order is not stable across builds).
-    std::vector<flash::Ppa> ppas;
-    ppas.reserve(layout.pages.size());
-    for (const auto &[ppa, dir] : layout.pages)
-        ppas.push_back(ppa);
-    std::sort(ppas.begin(), ppas.end());
-
-    for (flash::Ppa ppa : ppas) {
+    for (flash::Ppa ppa : sim::sortedKeys(layout.pages)) {
         dg::encodePageImage(layout, g, features, ppa, buf);
         // §VI-E: destination and embedded addresses must stay inside
         // the reserved blocks.

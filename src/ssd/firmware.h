@@ -105,7 +105,8 @@ class Firmware
             return 0.0;
         return static_cast<double>(coreBusyTime()) /
                (static_cast<double>(horizon) *
-                (_issueCores.size() + _completeCores.size()));
+                static_cast<double>(_issueCores.size() +
+                                    _completeCores.size()));
     }
 
     // ---- DirectGraph services ---------------------------------------

@@ -77,6 +77,8 @@ std::vector<flash::BlockId>
 Ftl::fullyInvalidBlocks() const
 {
     std::vector<flash::BlockId> out;
+    // `invalid` is an ordered map, so GC victims come back in block
+    // order — erase schedules stay reproducible across builds.
     for (const auto &[block, count] : invalid) {
         if (count > 0 && validPages(block) == 0)
             out.push_back(block);
@@ -137,17 +139,22 @@ Ftl::peGap(const flash::PageStore &store) const
 {
     if (reserved.empty())
         return 0.0;
-    double reserved_sum = 0;
+    // Sum P/E counts as integers: exact in any traversal order, so
+    // the gap can never pick up FP-reassociation noise (BGN002/005).
+    std::uint64_t reserved_sum = 0;
     for (auto b : reserved)
-        reserved_sum += static_cast<double>(store.peCycles(b));
-    double reserved_avg = reserved_sum / static_cast<double>(
-                                             reserved.size());
-    double regular_sum = 0;
+        reserved_sum += store.peCycles(b);
+    double reserved_avg = static_cast<double>(reserved_sum) /
+                          static_cast<double>(reserved.size());
+    std::uint64_t regular_sum = 0;
     std::size_t regular_n = regularUsed.size();
     for (auto b : regularUsed)
-        regular_sum += static_cast<double>(store.peCycles(b));
+        regular_sum += store.peCycles(b);
     double regular_avg =
-        regular_n == 0 ? 0.0 : regular_sum / static_cast<double>(regular_n);
+        regular_n == 0
+            ? 0.0
+            : static_cast<double>(regular_sum) /
+                  static_cast<double>(regular_n);
     return regular_avg - reserved_avg;
 }
 

@@ -20,9 +20,10 @@
 #define BEACONGNN_SSD_FTL_H
 
 #include <cstdint>
+#include <map>
 #include <optional>
+#include <set>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "flash/address.h"
@@ -172,12 +173,16 @@ class Ftl
     std::uint64_t nBlocks;
     unsigned pagesPerBlock;
 
+    /** LPA->PPA is the hot lookup path: hash map, never iterated. */
     std::unordered_map<Lpa, flash::Ppa> map;
-    std::unordered_map<flash::BlockId, std::uint64_t> invalid;
-    std::unordered_map<flash::BlockId, std::uint64_t> valid;
-    std::unordered_set<flash::BlockId> reserved;
+    // Per-block accounting is iterated (GC victim scan, wear stats),
+    // so it lives in ordered containers — determinism contract
+    // BGN002: walks must not depend on hash order.
+    std::map<flash::BlockId, std::uint64_t> invalid;
+    std::map<flash::BlockId, std::uint64_t> valid;
+    std::set<flash::BlockId> reserved;
     /** Blocks ever touched by regular writes (for wear stats). */
-    std::unordered_set<flash::BlockId> regularUsed;
+    std::set<flash::BlockId> regularUsed;
 
     flash::BlockId allocCursor = 0;  ///< Next candidate block.
     flash::Ppa writeCursor = 0;      ///< Next page in current block.

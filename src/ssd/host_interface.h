@@ -28,8 +28,8 @@ namespace beacongnn::ssd {
 class HostInterface
 {
   public:
-    HostInterface(Firmware &fw, const NvmeQueueConfig &qcfg = {})
-        : fw(fw), queue(qcfg)
+    HostInterface(Firmware &fw_, const NvmeQueueConfig &qcfg = {})
+        : fw(fw_), queue(qcfg)
     {
     }
 

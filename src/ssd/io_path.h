@@ -38,9 +38,9 @@ struct IoResult
 class IoPath
 {
   public:
-    IoPath(Firmware &fw, flash::FlashBackend &backend,
-           flash::PageStore &store, const NvmeQueueConfig &qcfg = {})
-        : fw(fw), backend(backend), store(store), queue(qcfg)
+    IoPath(Firmware &fw_, flash::FlashBackend &backend_,
+           flash::PageStore &store_, const NvmeQueueConfig &qcfg = {})
+        : fw(fw_), backend(backend_), store(store_), queue(qcfg)
     {
     }
 

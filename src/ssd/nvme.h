@@ -84,8 +84,8 @@ struct NvmeQueueConfig
 class NvmeQueuePair
 {
   public:
-    explicit NvmeQueuePair(const NvmeQueueConfig &cfg = {})
-        : cfg(cfg), slots(std::max(1u, cfg.queueDepth))
+    explicit NvmeQueuePair(const NvmeQueueConfig &cfg_ = {})
+        : cfg(cfg_), slots(std::max(1u, cfg_.queueDepth))
     {
     }
 

@@ -160,7 +160,7 @@ randomMatrix(std::uint32_t rows, std::uint32_t cols, std::uint64_t seed)
     sim::Pcg32 rng(seed);
     std::vector<float> m(std::size_t{rows} * cols);
     for (auto &v : m)
-        v = rng.uniform() * 2.0f - 1.0f;
+        v = static_cast<float>(rng.uniform() * 2.0 - 1.0);
     return m;
 }
 

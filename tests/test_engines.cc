@@ -230,8 +230,8 @@ TEST(DieSampler, RecursiveExpansionMatchesGoldenSampler)
         // (parent node, parent hop) aggregated multiset.
         std::map<std::pair<graph::NodeId, int>,
                  std::multiset<graph::NodeId>> agg;
-        for (gnn::Slot s = 0; s < sg.size(); ++s) {
-            const auto &e = sg[s];
+        for (gnn::Slot slot = 0; slot < sg.size(); ++slot) {
+            const auto &e = sg[slot];
             if (e.parent == gnn::kNoParent)
                 continue;
             const auto &p = sg[e.parent];

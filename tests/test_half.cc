@@ -144,7 +144,9 @@ TEST(Fp16Forward, TracksFp32WithinRoundingError)
         for (std::size_t i = 0; i < f32[t].size(); ++i) {
             double denom = std::max(0.05, static_cast<double>(std::abs(f32[t][i])));
             max_rel = std::max(
-                max_rel, std::abs(f32[t][i] - f16[t][i]) / denom);
+                max_rel,
+                static_cast<double>(std::abs(f32[t][i] - f16[t][i])) /
+                    denom);
         }
     }
     // Half has ~3 decimal digits; two layers of accumulation keep the

@@ -104,8 +104,8 @@ INSTANTIATE_TEST_SUITE_P(
                       PlatformKind::SmartSage, PlatformKind::BG1,
                       PlatformKind::BG_DG, PlatformKind::BG_SP,
                       PlatformKind::BG_DGSP, PlatformKind::BG2),
-    [](const ::testing::TestParamInfo<PlatformKind> &info) {
-        std::string n = platformName(info.param);
+    [](const ::testing::TestParamInfo<PlatformKind> &pinfo) {
+        std::string n = platformName(pinfo.param);
         for (auto &c : n)
             if (c == '-')
                 c = '_';

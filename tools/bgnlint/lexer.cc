@@ -1,0 +1,175 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace bgnlint {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identCont(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Two-character operators the rules care about (one token each). */
+bool
+isTwoCharOp(char a, char b)
+{
+    switch (a) {
+    case ':': return b == ':';
+    case '-': return b == '>' || b == '=' || b == '-';
+    case '+': return b == '=' || b == '+';
+    case '*': return b == '=';
+    case '/': return b == '=';
+    case '=': return b == '=';
+    case '!': return b == '=';
+    case '<': return b == '=' || b == '<';
+    case '>': return b == '=' || b == '>';
+    case '&': return b == '&';
+    case '|': return b == '|';
+    default: return false;
+    }
+}
+
+} // namespace
+
+std::vector<Token>
+tokenize(std::string_view src)
+{
+    std::vector<Token> out;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+    int line = 1;
+
+    auto advanceLines = [&](std::string_view s) {
+        for (char c : s)
+            if (c == '\n')
+                ++line;
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        // Line comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            std::size_t end = src.find('\n', i);
+            if (end == std::string_view::npos)
+                end = n;
+            out.push_back({TokKind::Comment,
+                           std::string(src.substr(i + 2, end - i - 2)),
+                           line});
+            i = end;
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            std::size_t end = src.find("*/", i + 2);
+            std::size_t stop = end == std::string_view::npos ? n : end;
+            std::string_view body = src.substr(i + 2, stop - i - 2);
+            out.push_back({TokKind::Comment, std::string(body), line});
+            advanceLines(body);
+            i = end == std::string_view::npos ? n : end + 2;
+            continue;
+        }
+
+        // Raw string literal  R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+            std::size_t open = src.find('(', i + 2);
+            if (open != std::string_view::npos) {
+                std::string delim(src.substr(i + 2, open - i - 2));
+                std::string close = ")" + delim + "\"";
+                std::size_t end = src.find(close, open + 1);
+                std::size_t stop =
+                    end == std::string_view::npos ? n : end;
+                std::string_view body =
+                    src.substr(open + 1, stop - open - 1);
+                out.push_back(
+                    {TokKind::String, std::string(body), line});
+                advanceLines(src.substr(i, (end == std::string_view::npos
+                                                ? n
+                                                : end + close.size()) -
+                                               i));
+                i = end == std::string_view::npos ? n
+                                                  : end + close.size();
+                continue;
+            }
+        }
+
+        // String / char literal.
+        if (c == '"' || c == '\'') {
+            char quote = c;
+            std::size_t j = i + 1;
+            while (j < n && src[j] != quote) {
+                if (src[j] == '\\' && j + 1 < n)
+                    ++j;
+                if (src[j] == '\n')
+                    break; // Unterminated on this line: stop.
+                ++j;
+            }
+            out.push_back({quote == '"' ? TokKind::String
+                                        : TokKind::CharLit,
+                           std::string(src.substr(i + 1, j - i - 1)),
+                           line});
+            i = j < n ? j + 1 : n;
+            continue;
+        }
+
+        // Identifier / keyword.
+        if (identStart(c)) {
+            std::size_t j = i + 1;
+            while (j < n && identCont(src[j]))
+                ++j;
+            out.push_back({TokKind::Identifier,
+                           std::string(src.substr(i, j - i)), line});
+            i = j;
+            continue;
+        }
+
+        // Number (digits, hex, separators, float suffixes — coarse).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+            std::size_t j = i + 1;
+            while (j < n &&
+                   (identCont(src[j]) || src[j] == '.' ||
+                    src[j] == '\'' ||
+                    ((src[j] == '+' || src[j] == '-') &&
+                     (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                      src[j - 1] == 'p' || src[j - 1] == 'P'))))
+                ++j;
+            out.push_back({TokKind::Number,
+                           std::string(src.substr(i, j - i)), line});
+            i = j;
+            continue;
+        }
+
+        // Punctuation.
+        if (i + 1 < n && isTwoCharOp(c, src[i + 1])) {
+            out.push_back(
+                {TokKind::Punct, std::string(src.substr(i, 2)), line});
+            i += 2;
+            continue;
+        }
+        out.push_back({TokKind::Punct, std::string(1, c), line});
+        ++i;
+    }
+    return out;
+}
+
+} // namespace bgnlint

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal C++ tokenizer for bgnlint (DESIGN.md §11).
+ *
+ * Deliberately not a compiler front end: bgnlint's rules only need
+ * identifiers, punctuation, literals and comments with line numbers.
+ * Comments and string/char literals are materialised as single tokens
+ * so rule code can (a) never false-positive on banned identifiers
+ * inside strings or comments and (b) still read suppression
+ * annotations (`bgnlint:allow(...)`) out of comment text.
+ */
+
+#ifndef BEACONGNN_BGNLINT_LEXER_H
+#define BEACONGNN_BGNLINT_LEXER_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bgnlint {
+
+enum class TokKind {
+    Identifier, ///< [A-Za-z_][A-Za-z0-9_]*
+    Number,     ///< numeric literal (incl. hex/float/suffixes)
+    String,     ///< "..." or R"(...)" — text excludes the quotes
+    CharLit,    ///< '...'
+    Punct,      ///< operators/punctuation; multi-char ops are one token
+    Comment,    ///< // or /* */ — text excludes the comment markers
+};
+
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int line; ///< 1-based line of the token's first character.
+};
+
+/**
+ * Tokenize @p src. Never fails: unterminated constructs are closed at
+ * end of input. Multi-char punctuation that matters to the rules
+ * (`::`, `->`, `+=`, `-=`, `*=`, `/=`, `==`, `<=`, `>=`, `&&`, `||`,
+ * `<<`, `>>`) is emitted as one token so e.g. a lone `:` reliably
+ * means a range-for separator or a label.
+ */
+std::vector<Token> tokenize(std::string_view src);
+
+} // namespace bgnlint
+
+#endif // BEACONGNN_BGNLINT_LEXER_H

@@ -1,0 +1,726 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "lexer.h"
+
+namespace bgnlint {
+
+namespace {
+
+// ==================================================================
+// Rule catalog.
+// ==================================================================
+
+const std::vector<RuleInfo> kRules = {
+    {"BGN001",
+     "wall-clock or ambient randomness in simulation code",
+     "draw randomness from sim::Pcg32 / sim::keyedRandom() and tell "
+     "time in sim::Tick (SimTime); wall clocks belong to bench/ only"},
+    {"BGN002",
+     "iteration over an unordered container",
+     "hash order is not stable across builds; iterate a std::map/"
+     "std::set, or collect keys and std::sort before walking"},
+    {"BGN003",
+     "raw new/delete outside src/sim/",
+     "use std::make_unique / std::vector; only the InlineCallback "
+     "SBO kernel in src/sim/ manages raw storage"},
+    {"BGN004",
+     "metric name violates the DESIGN.md §10 namespace grammar",
+     "instrument names are lower_snake dot paths rooted at flash./"
+     "ssd./engine./accel./energy./serve./run."},
+    {"BGN005",
+     "float accumulation in a parallelMap/runGrid region without a "
+     "deterministic-order tag",
+     "reduce in submission order over the collected results and tag "
+     "the site with // bgnlint:deterministic-order"},
+};
+
+bool
+startsWith(const std::string &s, std::string_view prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+// ==================================================================
+// Declaration tracking (for BGN002 / BGN005 name resolution).
+// ==================================================================
+
+enum class DeclKind { Unordered, Ordered, Floating };
+
+struct Decl
+{
+    int line;
+    DeclKind kind;
+};
+
+using DeclMap = std::map<std::string, std::vector<Decl>>;
+
+const std::set<std::string> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset"};
+const std::set<std::string> kOrderedTypes = {
+    "map", "set", "multimap", "multiset", "vector",
+    "deque", "list", "array", "span"};
+const std::set<std::string> kFloatTypes = {"float", "double"};
+
+/** Skip a balanced <...> starting at the '<' token; returns the index
+ *  one past the matching '>' (or tokens.size() when unbalanced). */
+std::size_t
+skipAngles(const std::vector<Token> &t, std::size_t i)
+{
+    int depth = 0;
+    for (; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Punct)
+            continue;
+        if (t[i].text == "<")
+            ++depth;
+        else if (t[i].text == "<<")
+            depth += 2;
+        else if (t[i].text == ">")
+            --depth;
+        else if (t[i].text == ">>")
+            depth -= 2;
+        else if (t[i].text == ";")
+            return i; // Not a template after all (a < comparison).
+        if (depth <= 0)
+            return i + 1;
+    }
+    return t.size();
+}
+
+/**
+ * One pass over a file's tokens recording container/floating-point
+ * declarations: `TYPE<...> [&*] NAME` and `float|double NAME`.
+ */
+void
+collectDecls(const std::vector<Token> &t, DeclMap &decls,
+             std::set<std::string> &globalUnordered)
+{
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Identifier)
+            continue;
+        const std::string &id = t[i].text;
+
+        DeclKind kind;
+        std::size_t after = 0;
+        if ((kUnorderedTypes.count(id) || kOrderedTypes.count(id)) &&
+            i + 1 < t.size() && t[i + 1].kind == TokKind::Punct &&
+            t[i + 1].text == "<") {
+            kind = kUnorderedTypes.count(id) ? DeclKind::Unordered
+                                             : DeclKind::Ordered;
+            after = skipAngles(t, i + 1);
+        } else if (kFloatTypes.count(id)) {
+            // Skip template-argument positions: vector<double> etc.
+            if (i > 0 && t[i - 1].kind == TokKind::Punct &&
+                (t[i - 1].text == "<" || t[i - 1].text == ","))
+                continue;
+            kind = DeclKind::Floating;
+            after = i + 1;
+        } else {
+            continue;
+        }
+
+        // Optional ref/pointer sigils, then the declared name.
+        while (after < t.size() && t[after].kind == TokKind::Punct &&
+               (t[after].text == "&" || t[after].text == "*"))
+            ++after;
+        if (after >= t.size() ||
+            t[after].kind != TokKind::Identifier)
+            continue;
+        const Token &name = t[after];
+        decls[name.text].push_back({name.line, kind});
+        if (kind == DeclKind::Unordered)
+            globalUnordered.insert(name.text);
+    }
+}
+
+/** Nearest same-file declaration of @p name at or before @p line. */
+const Decl *
+nearestDecl(const DeclMap &decls, const std::string &name, int line)
+{
+    auto it = decls.find(name);
+    if (it == decls.end())
+        return nullptr;
+    const Decl *best = nullptr;
+    for (const Decl &d : it->second)
+        if (d.line <= line && (!best || d.line > best->line))
+            best = &d;
+    return best;
+}
+
+// ==================================================================
+// Suppression / tag comments.
+// ==================================================================
+
+struct Annotations
+{
+    /** rule -> lines on which it is allowed. */
+    std::map<std::string, std::set<int>> allow;
+    /** Lines carrying a bgnlint:deterministic-order tag. */
+    std::set<int> orderTag;
+};
+
+Annotations
+collectAnnotations(const std::vector<Token> &all)
+{
+    Annotations ann;
+    for (const Token &tok : all) {
+        if (tok.kind != TokKind::Comment)
+            continue;
+        const std::string &c = tok.text;
+        int extra = static_cast<int>(
+            std::count(c.begin(), c.end(), '\n'));
+        if (c.find("bgnlint:deterministic-order") != std::string::npos)
+            for (int l = tok.line; l <= tok.line + extra + 1; ++l)
+                ann.orderTag.insert(l);
+        std::size_t pos = c.find("bgnlint:allow(");
+        while (pos != std::string::npos) {
+            std::size_t open = pos + 14;
+            std::size_t close = c.find(')', open);
+            if (close == std::string::npos)
+                break;
+            std::stringstream ids(c.substr(open, close - open));
+            std::string id;
+            while (std::getline(ids, id, ',')) {
+                id.erase(std::remove_if(id.begin(), id.end(),
+                                        [](unsigned char ch) {
+                                            return std::isspace(ch);
+                                        }),
+                         id.end());
+                if (id.empty())
+                    continue;
+                // The annotation covers its own line span plus the
+                // following line, so both trailing and preceding-line
+                // comments work.
+                for (int l = tok.line; l <= tok.line + extra + 1; ++l)
+                    ann.allow[id].insert(l);
+            }
+            pos = c.find("bgnlint:allow(", close);
+        }
+    }
+    return ann;
+}
+
+// ==================================================================
+// Per-file rule pass.
+// ==================================================================
+
+struct FileContext
+{
+    const FileInput *input;
+    std::vector<Token> all;  ///< Including comments.
+    std::vector<Token> code; ///< Comments stripped.
+    DeclMap decls;
+    Annotations ann;
+};
+
+bool
+isPunct(const Token &t, std::string_view s)
+{
+    return t.kind == TokKind::Punct && t.text == s;
+}
+
+bool
+isIdent(const Token &t, std::string_view s)
+{
+    return t.kind == TokKind::Identifier && t.text == s;
+}
+
+class Linter
+{
+  public:
+    explicit Linter(const std::set<std::string> &global_unordered)
+        : globalUnordered(global_unordered)
+    {
+    }
+
+    std::vector<Finding> run(const FileContext &ctx);
+
+  private:
+    const std::set<std::string> &globalUnordered;
+    std::vector<Finding> out;
+
+    void emit(const FileContext &ctx, int line, const std::string &rule,
+              std::string message)
+    {
+        bool suppressed = false;
+        auto it = ctx.ann.allow.find(rule);
+        if (it != ctx.ann.allow.end() && it->second.count(line))
+            suppressed = true;
+        out.push_back({ctx.input->path, line, rule,
+                       std::move(message), suppressed});
+    }
+
+    bool unorderedAt(const FileContext &ctx, const std::string &name,
+                     int line) const
+    {
+        if (const Decl *d = nearestDecl(ctx.decls, name, line))
+            return d->kind == DeclKind::Unordered;
+        return globalUnordered.count(name) != 0;
+    }
+
+    bool floatingAt(const FileContext &ctx, const std::string &name,
+                    int line) const
+    {
+        const Decl *d = nearestDecl(ctx.decls, name, line);
+        return d && d->kind == DeclKind::Floating;
+    }
+
+    void rule001(const FileContext &ctx);
+    void rule002(const FileContext &ctx);
+    void rule003(const FileContext &ctx);
+    void rule004(const FileContext &ctx);
+    void rule005(const FileContext &ctx);
+};
+
+// ---- BGN001: wall clock / ambient randomness ----------------------
+
+const std::set<std::string> kClockTypes = {
+    "system_clock", "steady_clock", "high_resolution_clock"};
+const std::set<std::string> kTimeCalls = {
+    "time", "gettimeofday", "clock_gettime", "timespec_get"};
+
+void
+Linter::rule001(const FileContext &ctx)
+{
+    const std::string &path = ctx.input->path;
+    bool simCode = startsWith(path, "src/") ||
+                   (startsWith(path, "tools/") &&
+                    !startsWith(path, "tools/bgnlint/"));
+    if (!simCode)
+        return;
+    const auto &t = ctx.code;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Identifier)
+            continue;
+        const std::string &id = t[i].text;
+        bool memberCall =
+            i > 0 && (isPunct(t[i - 1], ".") || isPunct(t[i - 1], "->"));
+        bool called = i + 1 < t.size() && isPunct(t[i + 1], "(");
+
+        if (id == "random_device") {
+            emit(ctx, t[i].line, "BGN001",
+                 "std::random_device is nondeterministic; seed a "
+                 "sim::Pcg32 instead");
+        } else if (kClockTypes.count(id)) {
+            emit(ctx, t[i].line, "BGN001",
+                 "chrono " + id +
+                     " reads the wall clock; simulation time is "
+                     "sim::Tick only");
+        } else if ((id == "rand" || id == "srand") && called &&
+                   !memberCall) {
+            emit(ctx, t[i].line, "BGN001",
+                 id + "() uses hidden global state; use sim::Pcg32 / "
+                      "sim::keyedRandom()");
+        } else if (kTimeCalls.count(id) && called && !memberCall) {
+            emit(ctx, t[i].line, "BGN001",
+                 id + "() reads the wall clock; simulation time is "
+                      "sim::Tick only");
+        }
+    }
+}
+
+// ---- BGN002: unordered-container iteration -------------------------
+
+const std::set<std::string> kBeginNames = {"begin", "cbegin", "rbegin",
+                                           "crbegin"};
+
+void
+Linter::rule002(const FileContext &ctx)
+{
+    const auto &t = ctx.code;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        // Range-for:  for ( decl : EXPR )
+        if (isIdent(t[i], "for") && i + 1 < t.size() &&
+            isPunct(t[i + 1], "(")) {
+            int depth = 0;
+            std::size_t colon = 0, close = 0;
+            for (std::size_t j = i + 1; j < t.size(); ++j) {
+                if (isPunct(t[j], "("))
+                    ++depth;
+                else if (isPunct(t[j], ")")) {
+                    if (--depth == 0) {
+                        close = j;
+                        break;
+                    }
+                } else if (depth == 1 && isPunct(t[j], ":") && !colon) {
+                    colon = j;
+                }
+            }
+            if (colon && close > colon) {
+                // Last identifier of the iterated expression. An
+                // expression containing a call (e.g. the audited
+                // sim::sortedKeys(...) snapshot) yields a fresh value
+                // of unknown — by construction ordered — type; skip.
+                std::string name;
+                int nameLine = t[colon].line;
+                for (std::size_t j = colon + 1; j < close; ++j) {
+                    if (isPunct(t[j], "(")) {
+                        name.clear();
+                        break;
+                    }
+                    if (t[j].kind == TokKind::Identifier) {
+                        name = t[j].text;
+                        nameLine = t[j].line;
+                    }
+                }
+                if (!name.empty() && unorderedAt(ctx, name, nameLine))
+                    emit(ctx, t[i].line, "BGN002",
+                         "range-for over unordered container '" +
+                             name +
+                             "' — hash order leaks into results; use "
+                             "an ordered container or sort a snapshot");
+            }
+        }
+        // Iterator walk:  X.begin() / X->cbegin() ...
+        if (t[i].kind == TokKind::Identifier && i + 3 < t.size() &&
+            (isPunct(t[i + 1], ".") || isPunct(t[i + 1], "->")) &&
+            t[i + 2].kind == TokKind::Identifier &&
+            kBeginNames.count(t[i + 2].text) &&
+            isPunct(t[i + 3], "(") &&
+            unorderedAt(ctx, t[i].text, t[i].line)) {
+            emit(ctx, t[i].line, "BGN002",
+                 "iterator over unordered container '" + t[i].text +
+                     "' — hash order leaks into results; use an "
+                     "ordered container or sort a snapshot");
+        }
+    }
+}
+
+// ---- BGN003: raw new/delete ----------------------------------------
+
+void
+Linter::rule003(const FileContext &ctx)
+{
+    if (startsWith(ctx.input->path, "src/sim/"))
+        return; // The SBO kernel owns raw storage by design.
+    const auto &t = ctx.code;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Identifier)
+            continue;
+        if (t[i].text == "new") {
+            if (i > 0 && isIdent(t[i - 1], "operator"))
+                continue;
+            emit(ctx, t[i].line, "BGN003",
+                 "raw 'new' outside src/sim/ — use std::make_unique "
+                 "or a container");
+        } else if (t[i].text == "delete") {
+            if (i > 0 && isPunct(t[i - 1], "="))
+                continue; // Deleted special member.
+            emit(ctx, t[i].line, "BGN003",
+                 "raw 'delete' outside src/sim/ — ownership belongs "
+                 "in std::unique_ptr / containers");
+        }
+    }
+}
+
+// ---- BGN004: metric-name grammar -----------------------------------
+
+const std::set<std::string> kRegistryAccessors = {
+    "counter", "gauge", "accum", "histogram", "interval"};
+const std::set<std::string> kMetricRoots = {
+    "flash", "ssd", "engine", "accel", "energy", "serve", "run"};
+
+bool
+metricNameOk(const std::string &s)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : s) {
+        if (c == '.') {
+            parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    parts.push_back(cur);
+    if (parts.size() < 2 || !kMetricRoots.count(parts[0]))
+        return false;
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        if (parts[i].empty())
+            return false;
+        for (char c : parts[i])
+            if (!(std::islower(static_cast<unsigned char>(c)) ||
+                  std::isdigit(static_cast<unsigned char>(c)) ||
+                  c == '_'))
+                return false;
+    }
+    return true;
+}
+
+void
+Linter::rule004(const FileContext &ctx)
+{
+    const auto &t = ctx.code;
+    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+        if (!(isPunct(t[i], ".") || isPunct(t[i], "->")))
+            continue;
+        if (t[i + 1].kind != TokKind::Identifier ||
+            !kRegistryAccessors.count(t[i + 1].text))
+            continue;
+        if (!isPunct(t[i + 2], "(") ||
+            t[i + 3].kind != TokKind::String)
+            continue;
+        const std::string &name = t[i + 3].text;
+        if (!metricNameOk(name))
+            emit(ctx, t[i + 3].line, "BGN004",
+                 "metric name \"" + name +
+                     "\" violates the §10 grammar: "
+                     "(flash|ssd|engine|accel|energy|serve|run)"
+                     ".lower_snake[.lower_snake...]");
+    }
+}
+
+// ---- BGN005: float accumulation in parallel regions ----------------
+
+const std::set<std::string> kParallelCalls = {"parallelMap", "runGrid"};
+
+void
+Linter::rule005(const FileContext &ctx)
+{
+    const auto &t = ctx.code;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Identifier ||
+            !kParallelCalls.count(t[i].text))
+            continue;
+        std::size_t open = i + 1;
+        if (open < t.size() && isPunct(t[open], "<"))
+            open = skipAngles(t, open);
+        if (open >= t.size() || !isPunct(t[open], "("))
+            continue;
+        int depth = 0;
+        std::size_t close = open;
+        for (std::size_t j = open; j < t.size(); ++j) {
+            if (isPunct(t[j], "("))
+                ++depth;
+            else if (isPunct(t[j], ")") && --depth == 0) {
+                close = j;
+                break;
+            }
+        }
+        for (std::size_t j = open + 1; j < close; ++j) {
+            if (!(isPunct(t[j], "+=") || isPunct(t[j], "-=")))
+                continue;
+            if (j == 0 || t[j - 1].kind != TokKind::Identifier)
+                continue;
+            const std::string &lhs = t[j - 1].text;
+            if (!floatingAt(ctx, lhs, t[j].line))
+                continue;
+            if (ctx.ann.orderTag.count(t[j].line) ||
+                ctx.ann.orderTag.count(t[i].line))
+                continue;
+            emit(ctx, t[j].line, "BGN005",
+                 "float accumulation into '" + lhs + "' inside " +
+                     t[i].text +
+                     "() — FP addition does not commute; make the "
+                     "reduction order deterministic and tag it "
+                     "// bgnlint:deterministic-order");
+        }
+    }
+}
+
+std::vector<Finding>
+Linter::run(const FileContext &ctx)
+{
+    out.clear();
+    rule001(ctx);
+    rule002(ctx);
+    rule003(ctx);
+    rule004(ctx);
+    rule005(ctx);
+    return std::move(out);
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+// ==================================================================
+// Public API.
+// ==================================================================
+
+const std::vector<RuleInfo> &
+ruleCatalog()
+{
+    return kRules;
+}
+
+std::vector<Finding>
+lintFiles(const std::vector<FileInput> &files, const LintOptions &opt)
+{
+    // Pass 1: tokenize everything and build the cross-file set of
+    // names ever declared as unordered containers (members declared
+    // in headers are iterated from other translation units).
+    std::vector<FileContext> ctxs(files.size());
+    std::set<std::string> globalUnordered;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        ctxs[i].input = &files[i];
+        ctxs[i].all = tokenize(files[i].content);
+        for (const Token &tok : ctxs[i].all)
+            if (tok.kind != TokKind::Comment)
+                ctxs[i].code.push_back(tok);
+        collectDecls(ctxs[i].code, ctxs[i].decls, globalUnordered);
+        ctxs[i].ann = collectAnnotations(ctxs[i].all);
+    }
+
+    // Pass 2: rules.
+    std::vector<Finding> all;
+    Linter linter(globalUnordered);
+    for (FileContext &ctx : ctxs) {
+        std::vector<Finding> fs = linter.run(ctx);
+        all.insert(all.end(), fs.begin(), fs.end());
+    }
+
+    if (!opt.onlyRules.empty()) {
+        std::set<std::string> keep(opt.onlyRules.begin(),
+                                   opt.onlyRules.end());
+        std::erase_if(all, [&](const Finding &f) {
+            return keep.count(f.rule) == 0;
+        });
+    }
+    if (!opt.showSuppressed)
+        std::erase_if(all,
+                      [](const Finding &f) { return f.suppressed; });
+
+    std::sort(all.begin(), all.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.file, a.line, a.rule) <
+                         std::tie(b.file, b.line, b.rule);
+              });
+    return all;
+}
+
+std::vector<FileInput>
+loadTree(const std::filesystem::path &root,
+         const std::vector<std::string> &paths, std::string *error)
+{
+    namespace fs = std::filesystem;
+    const std::set<std::string> exts = {".h", ".hpp", ".cc", ".cpp",
+                                        ".cxx"};
+    std::vector<std::string> rel;
+
+    auto skippable = [](const fs::path &dir) {
+        std::string name = dir.filename().string();
+        return name.rfind("build", 0) == 0 || name == "results" ||
+               (!name.empty() && name[0] == '.');
+    };
+
+    for (const std::string &p : paths) {
+        fs::path abs = root / p;
+        std::error_code ec;
+        if (fs::is_regular_file(abs, ec)) {
+            rel.push_back(p);
+        } else if (fs::is_directory(abs, ec)) {
+            fs::recursive_directory_iterator it(
+                abs, fs::directory_options::skip_permission_denied,
+                ec),
+                end;
+            for (; it != end; ++it) {
+                if (it->is_directory() && skippable(it->path())) {
+                    it.disable_recursion_pending();
+                    continue;
+                }
+                if (!it->is_regular_file())
+                    continue;
+                if (!exts.count(it->path().extension().string()))
+                    continue;
+                rel.push_back(
+                    fs::relative(it->path(), root).generic_string());
+            }
+        } else if (error) {
+            *error = "no such file or directory: " + abs.string();
+            return {};
+        }
+    }
+    std::sort(rel.begin(), rel.end());
+    rel.erase(std::unique(rel.begin(), rel.end()), rel.end());
+
+    std::vector<FileInput> out;
+    out.reserve(rel.size());
+    for (const std::string &r : rel) {
+        std::ifstream in(root / r, std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        out.push_back({r, ss.str()});
+    }
+    return out;
+}
+
+void
+writeText(std::ostream &os, const std::vector<Finding> &findings,
+          bool hints)
+{
+    std::map<std::string, const RuleInfo *> byId;
+    for (const RuleInfo &r : kRules)
+        byId[r.id] = &r;
+    for (const Finding &f : findings) {
+        os << f.file << ":" << f.line << ": " << f.rule << ": "
+           << f.message;
+        if (f.suppressed)
+            os << " [suppressed]";
+        os << "\n";
+        if (hints && byId.count(f.rule))
+            os << "    hint: " << byId[f.rule]->hint << "\n";
+    }
+}
+
+void
+writeJson(std::ostream &os, const std::vector<Finding> &findings)
+{
+    std::map<std::string, int> counts;
+    int unsuppressed = 0;
+    for (const Finding &f : findings) {
+        ++counts[f.rule];
+        if (!f.suppressed)
+            ++unsuppressed;
+    }
+    os << "{\n  \"version\": 1,\n  \"tool\": \"bgnlint\",\n"
+       << "  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        os << (i ? "," : "") << "\n    {\"file\": \""
+           << jsonEscape(f.file) << "\", \"line\": " << f.line
+           << ", \"rule\": \"" << f.rule << "\", \"message\": \""
+           << jsonEscape(f.message) << "\", \"suppressed\": "
+           << (f.suppressed ? "true" : "false") << "}";
+    }
+    os << (findings.empty() ? "" : "\n  ") << "],\n  \"counts\": {";
+    bool first = true;
+    for (const auto &[rule, count] : counts) {
+        os << (first ? "" : ", ") << "\"" << rule << "\": " << count;
+        first = false;
+    }
+    os << "},\n  \"total\": " << findings.size()
+       << ",\n  \"unsuppressed\": " << unsuppressed << "\n}\n";
+}
+
+} // namespace bgnlint

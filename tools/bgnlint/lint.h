@@ -1,0 +1,110 @@
+/**
+ * @file
+ * bgnlint — BeaconGNN's determinism/invariant static-analysis pass
+ * (DESIGN.md §11).
+ *
+ * Five repo-specific rules, each a named, suppressible diagnostic:
+ *
+ *  - BGN001  no wall-clock / ambient randomness in simulation code
+ *            (std::rand, srand, random_device, time(), any
+ *            chrono *_clock) — sim code draws from sim::Pcg32 /
+ *            keyedRandom() and tells time in sim::Tick only;
+ *  - BGN002  no iteration over std::unordered_map/unordered_set:
+ *            hash order is not stable across builds/libraries, so any
+ *            range-for or .begin() walk can leak nondeterminism into
+ *            metrics, CSV/JSON emitters or event scheduling;
+ *  - BGN003  no raw new/delete outside the SBO kernel in src/sim/;
+ *  - BGN004  MetricRegistry instrument-name literals must match the
+ *            DESIGN.md §10 namespace grammar
+ *            (flash.|ssd.|engine.|accel.|energy.|serve.|run. roots,
+ *            lower_snake components);
+ *  - BGN005  no float/double accumulation inside parallelMap/runGrid
+ *            call regions without a `bgnlint:deterministic-order`
+ *            comment tag vouching for a fixed reduction order.
+ *
+ * Suppression: `// bgnlint:allow(BGN002)` (comma-separate several
+ * IDs) on the finding's line or the line directly above it.
+ *
+ * Scope: BGN001 applies under src/ and tools/ (bench/ is host-side
+ * measurement harness and may read wall clocks; tools/bgnlint itself
+ * names the banned constructs and is excluded); BGN003 exempts
+ * src/sim/ (InlineCallback's small-buffer kernel); the rest apply to
+ * every scanned file.
+ *
+ * The analysis is a lightweight tokenizer pass, not a compiler: name
+ * resolution is "nearest preceding declaration in the same file, else
+ * any file that declares the name as an unordered container". That
+ * catches every real pattern in this codebase; the escape hatch for a
+ * false positive is the allow-comment, which doubles as in-source
+ * documentation of why the site is safe.
+ */
+
+#ifndef BEACONGNN_BGNLINT_LINT_H
+#define BEACONGNN_BGNLINT_LINT_H
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bgnlint {
+
+struct Finding
+{
+    std::string file; ///< Path as given (relative to scan root).
+    int line = 0;
+    std::string rule; ///< "BGN001".."BGN005".
+    std::string message;
+    bool suppressed = false;
+};
+
+struct RuleInfo
+{
+    std::string id;
+    std::string title;
+    std::string hint; ///< Suggested fix, printed with --hints.
+};
+
+/** Static catalog of all rules, in ID order. */
+const std::vector<RuleInfo> &ruleCatalog();
+
+struct FileInput
+{
+    std::string path; ///< Forward-slash path relative to the repo
+                      ///< root; used for per-rule applicability.
+    std::string content;
+};
+
+struct LintOptions
+{
+    bool showSuppressed = false; ///< Include suppressed findings.
+    std::vector<std::string> onlyRules; ///< Empty = all rules.
+};
+
+/**
+ * Lint @p files. Findings come back sorted by (file, line, rule) —
+ * the linter's own output must be deterministic. Suppressed findings
+ * are dropped unless @p opt.showSuppressed.
+ */
+std::vector<Finding> lintFiles(const std::vector<FileInput> &files,
+                               const LintOptions &opt = {});
+
+/**
+ * Collect .h/.hpp/.cc/.cpp/.cxx sources under @p paths (files or
+ * directories, relative to @p root), sorted by path. Directories
+ * named build*, results or starting with '.' are skipped.
+ */
+std::vector<FileInput> loadTree(const std::filesystem::path &root,
+                                const std::vector<std::string> &paths,
+                                std::string *error);
+
+/** `file:line: RULE: message` per finding (compiler-style). */
+void writeText(std::ostream &os, const std::vector<Finding> &findings,
+               bool hints);
+
+/** Machine-readable report for CI. */
+void writeJson(std::ostream &os, const std::vector<Finding> &findings);
+
+} // namespace bgnlint
+
+#endif // BEACONGNN_BGNLINT_LINT_H

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * bgnlint CLI. Exit codes: 0 clean, 1 unsuppressed findings,
+ * 2 usage/IO error — CI gates on the exit code and parses --json.
+ */
+
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: bgnlint [options] [path...]\n"
+          "\n"
+          "BeaconGNN determinism/invariant linter (DESIGN.md §11).\n"
+          "Paths are files or directories relative to --root;\n"
+          "default: src tools bench.\n"
+          "\n"
+          "  --root DIR         repo root paths are resolved against "
+          "(default: .)\n"
+          "  --json             machine-readable report on stdout\n"
+          "  --rule ID[,ID...]  only run the given rules\n"
+          "  --show-suppressed  include bgnlint:allow'd findings\n"
+          "  --hints            print a fix hint under each finding\n"
+          "  --list-rules       print the rule catalog and exit\n"
+          "  -h, --help         this text\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::filesystem::path root = ".";
+    std::vector<std::string> paths;
+    bgnlint::LintOptions opt;
+    bool json = false, hints = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "bgnlint: " << a << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--root") {
+            root = next();
+        } else if (a == "--json") {
+            json = true;
+        } else if (a == "--show-suppressed") {
+            opt.showSuppressed = true;
+        } else if (a == "--hints") {
+            hints = true;
+        } else if (a == "--rule") {
+            std::string ids = next();
+            std::size_t pos = 0;
+            while (pos != std::string::npos) {
+                std::size_t comma = ids.find(',', pos);
+                std::string id =
+                    ids.substr(pos, comma == std::string::npos
+                                        ? comma
+                                        : comma - pos);
+                if (!id.empty())
+                    opt.onlyRules.push_back(id);
+                pos = comma == std::string::npos ? comma : comma + 1;
+            }
+        } else if (a == "--list-rules") {
+            for (const auto &r : bgnlint::ruleCatalog())
+                std::cout << r.id << "  " << r.title << "\n"
+                          << "        " << r.hint << "\n";
+            return 0;
+        } else if (a == "-h" || a == "--help") {
+            usage(std::cout);
+            return 0;
+        } else if (!a.empty() && a[0] == '-') {
+            std::cerr << "bgnlint: unknown option " << a << "\n";
+            usage(std::cerr);
+            return 2;
+        } else {
+            paths.push_back(a);
+        }
+    }
+    if (paths.empty())
+        paths = {"src", "tools", "bench"};
+
+    for (const std::string &id : opt.onlyRules) {
+        bool known = false;
+        for (const auto &r : bgnlint::ruleCatalog())
+            known = known || r.id == id;
+        if (!known) {
+            std::cerr << "bgnlint: unknown rule '" << id
+                      << "' (see --list-rules)\n";
+            return 2;
+        }
+    }
+
+    std::string error;
+    std::vector<bgnlint::FileInput> files =
+        bgnlint::loadTree(root, paths, &error);
+    if (!error.empty()) {
+        std::cerr << "bgnlint: " << error << "\n";
+        return 2;
+    }
+
+    std::vector<bgnlint::Finding> findings =
+        bgnlint::lintFiles(files, opt);
+    if (json)
+        bgnlint::writeJson(std::cout, findings);
+    else
+        bgnlint::writeText(std::cout, findings, hints);
+
+    for (const auto &f : findings)
+        if (!f.suppressed)
+            return 1;
+    if (!json)
+        std::cout << "bgnlint: " << files.size()
+                  << " files clean\n";
+    return 0;
+}

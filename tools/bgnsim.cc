@@ -244,8 +244,9 @@ main(int argc, char **argv)
                     "%.1f MB | aborted %llu\n",
                     static_cast<unsigned long long>(
                         r.tally.flashReads),
-                    r.tally.channelBytes / 1048576.0,
-                    r.tally.pcieBytes / 1048576.0,
+                    static_cast<double>(r.tally.channelBytes) /
+                        1048576.0,
+                    static_cast<double>(r.tally.pcieBytes) / 1048576.0,
                     static_cast<unsigned long long>(
                         r.tally.abortedCommands));
         std::printf("  cmd lifetime %.1f us (wait %.1f + flash %.1f "
