@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The engine-facing view of one SSD of a (possibly single-device)
+ * array: the per-device hardware the data-preparation pipeline talks
+ * to. The platform layer owns the actual components (DeviceContext in
+ * src/platforms/device_context.h); the engine only borrows them, so a
+ * devices = 1 run and an array run execute the exact same pipeline
+ * code over one or many ports.
+ */
+
+#ifndef BEACONGNN_ENGINES_DEVICE_PORT_H
+#define BEACONGNN_ENGINES_DEVICE_PORT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/resources.h"
+
+namespace beacongnn::flash {
+class FlashBackend;
+} // namespace beacongnn::flash
+
+namespace beacongnn::ssd {
+class Firmware;
+} // namespace beacongnn::ssd
+
+namespace beacongnn::engines {
+
+class CommandRouter;
+class DieSampler;
+
+/** Borrowed hardware of one device (none owned). */
+struct DevicePort
+{
+    flash::FlashBackend *backend = nullptr;
+    ssd::Firmware *fw = nullptr;
+    /** Channel-level command router (BG-2 platforms; else null). */
+    CommandRouter *router = nullptr;
+    /** Die-level sampler bank of this device. */
+    DieSampler *sampler = nullptr;
+    /** Outbound P2P port (null on a single device). */
+    sim::BandwidthResource *p2pOut = nullptr;
+    /** Chrome-trace pid base of this device's tracks. */
+    std::uint32_t tracePidBase = 0;
+};
+
+/** Inter-device fabric parameters of an array run. */
+struct FabricConfig
+{
+    /** P2P link hop latency added after the descriptor transfer. */
+    sim::Tick p2pLatency = 0;
+    /** Forwarded command descriptor size (bytes on the link). */
+    std::uint32_t commandBytes = 16;
+    /** Node → owning device table (null/empty = single device). */
+    const std::vector<std::uint32_t> *owner = nullptr;
+};
+
+/** Per-device byte/command tallies of one mini-batch (array runs). */
+struct DeviceTally
+{
+    std::uint64_t commands = 0;     ///< Commands executed here.
+    std::uint64_t flashReads = 0;   ///< Pages sensed here.
+    std::uint64_t featureBytes = 0; ///< Feature payload staged here.
+    std::uint64_t p2pForwards = 0;  ///< Commands forwarded out.
+    std::uint64_t p2pBytes = 0;     ///< Bytes pushed onto the P2P port.
+
+    void
+    merge(const DeviceTally &other)
+    {
+        commands += other.commands;
+        flashReads += other.flashReads;
+        featureBytes += other.featureBytes;
+        p2pForwards += other.p2pForwards;
+        p2pBytes += other.p2pBytes;
+    }
+};
+
+} // namespace beacongnn::engines
+
+#endif // BEACONGNN_ENGINES_DEVICE_PORT_H

@@ -1,6 +1,7 @@
 #include "engines/gnn_engine.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -121,7 +122,8 @@ struct GnnEngine::Batch
 
     // Streaming dedup: nodes whose primary section this batch
     // already fetched (maps to the time its data became available).
-    std::unordered_map<std::uint64_t, sim::Tick> fetched;
+    // One map per device — SSD DRAM caches do not span the fabric.
+    std::vector<std::unordered_map<std::uint64_t, sim::Tick>> fetched;
 
     // Barrier mode: visits of the next hop, accumulated this hop.
     struct Visit
@@ -134,25 +136,84 @@ struct GnnEngine::Batch
     sim::Tick hopLast = 0;
 };
 
+GnnEngine::GnnEngine(sim::EventQueue &queue_, std::vector<DevicePort> ports_,
+                     const dg::DirectGraphLayout &layout_,
+                     const graph::Graph &graph_,
+                     const gnn::ModelConfig &model_,
+                     const PrepFlags &flags,
+                     const dg::SectionSource &source_,
+                     const FabricConfig &fabric_)
+    : queue(queue_), ports(std::move(ports_)), layout(layout_),
+      g(graph_), model(model_), _flags(flags), source(source_),
+      fabric(fabric_)
+{
+    if (ports.empty())
+        sim::fatal("GnnEngine: no device ports");
+    for (const DevicePort &p : ports) {
+        if (!p.backend || !p.fw || !p.sampler)
+            sim::fatal("GnnEngine: incomplete device port");
+        if (_flags.hwRouter && !p.router)
+            sim::fatal("GnnEngine: hwRouter platform without a router");
+    }
+    if (ports.size() > 1) {
+        if (!_flags.directGraph)
+            sim::fatal("GnnEngine: multi-device arrays require a "
+                       "streaming (DirectGraph) platform");
+        for (const DevicePort &p : ports)
+            if (!p.p2pOut)
+                sim::fatal("GnnEngine: array port without a P2P link");
+        if (!fabric.owner || fabric.owner->size() < g.numNodes())
+            sim::fatal("GnnEngine: array without an ownership table");
+    }
+}
+
 GnnEngine::GnnEngine(sim::EventQueue &queue_,
-                     flash::FlashBackend &backend_,
+                     flash::FlashBackend &backend,
                      ssd::Firmware &firmware,
                      const dg::DirectGraphLayout &layout_,
                      const graph::Graph &graph_,
                      const gnn::ModelConfig &model_,
                      const PrepFlags &flags,
                      const dg::SectionSource &source_)
-    : queue(queue_), backend(backend_), fw(firmware), layout(layout_),
-      g(graph_), model(model_), _flags(flags), source(source_),
-      sampler(firmware.config().engine,
-              flash::GnnGlobalConfig{model.hops, model.fanout,
-                                     model.featureDim, 2, model.seed},
-              DieSamplerOptions{flags.coalesceSecondary})
+    : queue(queue_),
+      ownedSampler(std::make_unique<DieSampler>(
+          firmware.config().engine,
+          flash::GnnGlobalConfig{model_.hops, model_.fanout,
+                                 model_.featureDim, 2, model_.seed},
+          DieSamplerOptions{flags.coalesceSecondary})),
+      ownedRouter(flags.hwRouter
+                      ? std::make_unique<CommandRouter>(
+                            firmware.config().engine, backend.config())
+                      : nullptr),
+      ports{DevicePort{&backend, &firmware, ownedRouter.get(),
+                       ownedSampler.get(), nullptr, 0}},
+      layout(layout_), g(graph_), model(model_), _flags(flags),
+      source(source_)
 {
-    if (_flags.hwRouter) {
-        router = std::make_unique<CommandRouter>(
-            firmware.config().engine, backend.config());
+}
+
+unsigned
+GnnEngine::ownerOf(graph::NodeId node) const
+{
+    if (!fabric.owner || fabric.owner->empty())
+        return 0;
+    return (*fabric.owner)[node];
+}
+
+DispatchStats
+GnnEngine::routerTotals() const
+{
+    DispatchStats total;
+    for (const DevicePort &p : ports) {
+        if (!p.router)
+            continue;
+        DispatchStats s = p.router->stats();
+        total.routed += s.routed;
+        total.parsed += s.parsed;
+        total.crossChannel += s.crossChannel;
+        total.peakQueue = std::max(total.peakQueue, s.peakQueue);
     }
+    return total;
 }
 
 void
@@ -165,8 +226,10 @@ GnnEngine::prepare(sim::Tick start, std::uint64_t batch_id,
     b->done = std::move(done);
     b->res.start = start;
     b->res.hops.resize(model.hops + 1u);
+    b->res.perDevice.resize(ports.size());
+    b->fetched.resize(ports.size());
 
-    const auto &host = fw.config().host;
+    const auto &host = ports[0].fw->config().host;
     // Before the first batch, the firmware broadcasts the global GNN
     // configuration command (hops, fanout, feature length; §VI-C) to
     // every die over the channels.
@@ -194,22 +257,23 @@ GnnEngine::setTraceSink(sim::TraceSink *sink)
     trace = sink;
     if (trace) {
         trace->setProcessName(flash::kTraceEnginePid, "engine");
-        trace->setProcessName(flash::kTraceDramPid, "ssd dram");
+        for (std::size_t d = 0; d < ports.size(); ++d) {
+            std::string name =
+                ports.size() > 1
+                    ? "dev" + std::to_string(d) + " ssd dram"
+                    : std::string("ssd dram");
+            trace->setProcessName(
+                ports[d].tracePidBase + flash::kTraceDramPid, name);
+        }
     }
 }
 
 void
 GnnEngine::publishMetrics(sim::MetricRegistry &reg) const
 {
-    sampler.publishMetrics(reg);
-    if (router) {
-        DispatchStats s = router->stats();
-        reg.counter("engine.router.commands_routed").add(s.routed);
-        reg.counter("engine.router.frames_parsed").add(s.parsed);
-        reg.counter("engine.router.cross_channel").add(s.crossChannel);
-        reg.gauge("engine.router.peak_queue")
-            .set(static_cast<double>(s.peakQueue));
-    }
+    // Per-device instruments (engine.sampler.*, engine.router.*) are
+    // published by the owning DeviceContext; only the engine-global
+    // broadcast time lives here.
     reg.gauge("engine.config_broadcast_ticks")
         .set(static_cast<double>(configDone));
 }
@@ -240,7 +304,9 @@ GnnEngine::broadcastConfig(sim::Tick start)
     // One GNN-configuration command per die: command cycles plus the
     // parameter frame (Fig. 13) over the channel; dies on different
     // channels configure in parallel, dies on one channel serialize.
-    const auto &cfg = backend.config();
+    // Every device of an array broadcasts concurrently, and the
+    // devices are identical, so one device's completion is the array's.
+    const auto &cfg = ports[0].backend->config();
     const std::uint32_t frame = 16; // hops/fanout/dim/seed parameters.
     sim::Tick done = start;
     for (unsigned ch = 0; ch < cfg.channels; ++ch) {
@@ -282,9 +348,12 @@ GnnEngine::startStreaming(std::shared_ptr<Batch> b)
         }
         p.nodeHint = v.node;
         // Targets are injected by the host interface at the frontend
-        // controller; their first hop is always a crossbar traversal.
+        // controller of the device that owns them (the host links to
+        // every array member); their first hop is always a crossbar
+        // traversal.
+        unsigned dev = ports.size() > 1 ? ownerOf(v.node) : 0;
         streamCommand(b, p, now,
-                      backend.codec().channelOf(p.ppa));
+                      ports[dev].backend->codec().channelOf(p.ppa), dev);
     }
     if (visits.empty())
         finishBatch(b, now);
@@ -293,8 +362,13 @@ GnnEngine::startStreaming(std::shared_ptr<Batch> b)
 void
 GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
                          flash::GnnSampleParams params, sim::Tick ready,
-                         unsigned from_channel)
+                         unsigned from_channel, unsigned dev)
 {
+    DevicePort &port = ports[dev];
+    flash::FlashBackend &backend = *port.backend;
+    ssd::Firmware &fw = *port.fw;
+    DieSampler &sampler = *port.sampler;
+    CommandRouter *router = port.router;
     const auto &flash_cfg = backend.config();
     sim::Tick created = ready;
 
@@ -304,8 +378,9 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
     // instance), but no flash read is issued.
     dg::DgAddress self_addr(params.ppa, params.sectionIndex);
     if (_flags.dedupeNodes && !params.isSecondary) {
-        auto it = b->fetched.find(self_addr.raw);
-        if (it != b->fetched.end()) {
+        auto &fetched = b->fetched[dev];
+        auto it = fetched.find(self_addr.raw);
+        if (it != fetched.end()) {
             auto section = source.fetch(self_addr);
             flash::GnnSampleResult result =
                 sampler.execute(section, params);
@@ -314,8 +389,10 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
                 avail, result.frameBytes());
             sim::Tick parsed = mem.end;
             ++b->res.dedupedReads;
-            if (result.featureIncluded)
+            if (result.featureIncluded) {
                 b->res.tally.featureBytes += result.featureBytes;
+                b->res.perDevice[dev].featureBytes += result.featureBytes;
+            }
             gnn::Slot parent = params.parentSlot;
             if (result.ok) {
                 parent = b->res.subgraph.add(
@@ -326,10 +403,7 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
             unsigned ch = backend.codec().channelOf(params.ppa);
             for (auto &f : result.follow) {
                 f.params.parentSlot = parent;
-                flash::GnnSampleParams child = f.params;
-                queue.scheduleAt(parsed, [this, b, child, ch] {
-                    streamCommand(b, child, queue.now(), ch);
-                });
+                scheduleChild(b, f.params, parsed, ch, dev);
             }
             unsigned span = std::min<unsigned>(params.hop, model.hops);
             if (params.finalHop)
@@ -337,8 +411,7 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
             b->res.hops[span].cover(created, parsed);
             b->finishMax = std::max(b->finishMax, parsed);
             if (--b->outstanding == 0) {
-                if (router)
-                    b->res.routerStats = router->stats();
+                b->res.routerStats = routerTotals();
                 finishBatch(b, b->finishMax);
             }
             return;
@@ -384,6 +457,7 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
     flash::FlashOpTiming t =
         backend.read(dispatched, params.ppa, transfer_bytes, on_die);
     ++b->res.tally.flashReads;
+    ++b->res.perDevice[dev].flashReads;
     b->res.tally.channelBytes += transfer_bytes;
     if (_flags.hwRouter)
         router->bindCompletion(params.ppa, t.xferEnd);
@@ -410,8 +484,8 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
             b->finishMax = std::max(b->finishMax, mem.end);
             if (trace)
                 trace->complete("feature-dma", "dram",
-                                flash::kTraceDramPid, 0, parsed,
-                                mem.end);
+                                port.tracePidBase + flash::kTraceDramPid,
+                                0, parsed, mem.end);
         }
     } else if (die_sampling) {
         // BG-DGSP: frames land in DRAM, a core parses each.
@@ -432,13 +506,16 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
         trace->endAsync("consume", "cmd", span_id, parsed);
         trace->endAsync("cmd", "cmd", span_id, parsed);
     }
-    if (result.featureIncluded)
+    if (result.featureIncluded) {
         b->res.tally.featureBytes += result.featureBytes;
+        b->res.perDevice[dev].featureBytes += result.featureBytes;
+    }
     if (_flags.dedupeNodes && !params.isSecondary)
-        b->fetched.emplace(self_addr.raw, parsed);
+        b->fetched[dev].emplace(self_addr.raw, parsed);
 
     // ---- Bookkeeping ---------------------------------------------------
     ++b->res.commands;
+    ++b->res.perDevice[dev].commands;
     sim::Tick wait_before = t.senseStart - created;
     sim::Tick flash_time =
         (t.senseEnd - t.senseStart) + (t.xferEnd - t.xferStart);
@@ -472,18 +549,49 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
     unsigned this_channel = backend.codec().channelOf(params.ppa);
     for (auto &f : result.follow) {
         f.params.parentSlot = parent_for_children;
-        flash::GnnSampleParams child = f.params;
-        queue.scheduleAt(parsed, [this, b, child, this_channel] {
-            streamCommand(b, child, queue.now(), this_channel);
-        });
+        scheduleChild(b, f.params, parsed, this_channel, dev);
     }
 
     b->finishMax = std::max(b->finishMax, parsed);
     if (--b->outstanding == 0) {
-        if (router)
-            b->res.routerStats = router->stats();
+        b->res.routerStats = routerTotals();
         finishBatch(b, b->finishMax);
     }
+}
+
+void
+GnnEngine::scheduleChild(const std::shared_ptr<Batch> &b,
+                         flash::GnnSampleParams child, sim::Tick parsed,
+                         unsigned this_channel, unsigned dev)
+{
+    unsigned child_dev = dev;
+    if (ports.size() > 1 && !child.isSecondary) {
+        // Primary follow-ups may target a node another device owns;
+        // secondary sections always sit beside their primary.
+        if (auto sp = layout.find(
+                dg::DgAddress(child.ppa, child.sectionIndex)))
+            child_dev = ownerOf(sp->node);
+    }
+    if (child_dev == dev) {
+        queue.scheduleAt(parsed, [this, b, child, this_channel, dev] {
+            streamCommand(b, child, queue.now(), this_channel, dev);
+        });
+        return;
+    }
+    // Cross-device hop (§VIII): the command descriptor crosses the
+    // source device's P2P port, then enters the owner's crossbar at
+    // the child's channel like a host-injected target.
+    sim::Grant link =
+        ports[dev].p2pOut->acquire(parsed, fabric.commandBytes);
+    sim::Tick arrive = link.end + fabric.p2pLatency;
+    ++b->res.crossDevice;
+    ++b->res.perDevice[dev].p2pForwards;
+    b->res.perDevice[dev].p2pBytes += fabric.commandBytes;
+    unsigned entry =
+        ports[child_dev].backend->codec().channelOf(child.ppa);
+    queue.scheduleAt(arrive, [this, b, child, entry, child_dev] {
+        streamCommand(b, child, queue.now(), entry, child_dev);
+    });
 }
 // ====================================================================
 // Hop-by-hop (barrier) pipeline: CC, GLIST, SmartSage, BG-1, BG-SP.
@@ -532,6 +640,11 @@ void
 GnnEngine::runHop(const std::shared_ptr<Batch> &b, unsigned hop,
                   sim::Tick hop_start)
 {
+    // The barrier pipeline is single-device (the constructor rejects
+    // multi-device non-streaming platforms), so port 0 is the SSD.
+    flash::FlashBackend &backend = *ports[0].backend;
+    ssd::Firmware &fw = *ports[0].fw;
+    DieSampler &sampler = *ports[0].sampler;
     const auto &ctl = fw.config().controller;
     const auto &host = fw.config().host;
     const auto &flash_cfg = backend.config();
@@ -557,7 +670,7 @@ GnnEngine::runHop(const std::shared_ptr<Batch> &b, unsigned hop,
      * core, then optionally the host path (software-stack service and
      * PCIe transfer). Records Fig. 16/17 statistics.
      */
-    auto do_read = [this, &ctl, &host, b, hop](
+    auto do_read = [this, &ctl, &host, &fw, &backend, b, hop](
                        sim::Tick ready, flash::Ppa ppa,
                        std::uint32_t bytes, sim::Tick on_die,
                        sim::Tick core_extra, bool to_host,
@@ -584,6 +697,7 @@ GnnEngine::runHop(const std::shared_ptr<Batch> &b, unsigned hop,
         flash::FlashOpTiming t =
             backend.read(dispatched, ppa, bytes, on_die);
         ++b->res.tally.flashReads;
+        ++b->res.perDevice[0].flashReads;
         b->res.tally.channelBytes += bytes;
         sim::Grant mem = fw.dram().acquire(t.xferEnd, bytes);
         b->res.tally.dramBytes += bytes;
@@ -603,6 +717,7 @@ GnnEngine::runHop(const std::shared_ptr<Batch> &b, unsigned hop,
             trace->endAsync("cmd", "cmd", span_id, parsed);
         }
         ++b->res.commands;
+        ++b->res.perDevice[0].commands;
         sim::Tick wait_before = t.senseStart - created;
         sim::Tick flash_time =
             (t.senseEnd - t.senseStart) + (t.xferEnd - t.xferStart);
@@ -643,6 +758,7 @@ GnnEngine::runHop(const std::shared_ptr<Batch> &b, unsigned hop,
         // the feature table as a separate object (Table I) and read
         // one of its pages per visit.
         b->res.tally.featureBytes += feat_bytes;
+        b->res.perDevice[0].featureBytes += feat_bytes;
         flash::Ppa fppa =
             featureTablePpa(flash_cfg, v.node, feat_bytes);
         if (die_sampling) {

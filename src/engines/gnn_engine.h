@@ -24,6 +24,7 @@
 
 #include "directgraph/source.h"
 #include "engines/command_router.h"
+#include "engines/device_port.h"
 #include "engines/die_sampler.h"
 #include "flash/backend.h"
 #include "gnn/model.h"
@@ -151,18 +152,33 @@ struct PrepResult
     std::uint64_t commands = 0;
     /** Flash reads avoided by batch-level node deduplication. */
     std::uint64_t dedupedReads = 0;
-    /** Channel-router statistics (BG-2 only; zeros otherwise). */
+    /** Channel-router statistics (BG-2 only; zeros otherwise; summed
+     *  over every device of an array run). */
     DispatchStats routerStats;
+    /** Commands that crossed a P2P link (array runs; else 0). */
+    std::uint64_t crossDevice = 0;
+    /** Per-device tallies, one entry per device of the topology. */
+    std::vector<DeviceTally> perDevice;
 };
 
-/** The engine. One instance per platform run; batches prepared serially. */
+/**
+ * The engine. One instance per platform run; batches prepared
+ * serially. The engine executes the same pipeline over one or many
+ * devices: each command runs against the hardware of the device that
+ * owns its node (per the fabric's partition table), and follow-up
+ * commands whose child lives on another device cross that device's
+ * P2P port as a small descriptor before continuing remotely. With a
+ * single port the fabric degenerates and the behaviour is exactly the
+ * historical single-SSD pipeline.
+ */
 class GnnEngine
 {
   public:
     /**
      * @param queue    Shared event queue.
-     * @param backend  Flash timing model.
-     * @param firmware SSD frontend resources.
+     * @param ports    Per-device hardware (size >= 1; borrowed). Multi-
+     *                 device topologies require a streaming
+     *                 (DirectGraph) platform.
      * @param layout   DirectGraph layout (physical placement; also
      *                 used as the page map for conventional-format
      *                 platforms — see DESIGN.md §3).
@@ -170,9 +186,21 @@ class GnnEngine
      * @param model    GNN task config.
      * @param flags    Pipeline selection.
      * @param source   Section resolver (layout- or byte-backed).
+     * @param fabric   Inter-device link parameters + ownership table.
+     */
+    GnnEngine(sim::EventQueue &queue, std::vector<DevicePort> ports,
+              const dg::DirectGraphLayout &layout,
+              const graph::Graph &g, const gnn::ModelConfig &model,
+              const PrepFlags &flags, const dg::SectionSource &source,
+              const FabricConfig &fabric = {});
+
+    /**
+     * Single-device convenience: the engine builds (and owns) the die
+     * sampler and — when the flags ask for it — the channel router on
+     * @p backend / @p fw, exactly as a one-device DeviceContext would.
      */
     GnnEngine(sim::EventQueue &queue, flash::FlashBackend &backend,
-              ssd::Firmware &firmware, const dg::DirectGraphLayout &layout,
+              ssd::Firmware &fw, const dg::DirectGraphLayout &layout,
               const graph::Graph &g, const gnn::ModelConfig &model,
               const PrepFlags &flags, const dg::SectionSource &source);
 
@@ -199,8 +227,10 @@ class GnnEngine
      */
     void setTraceSink(sim::TraceSink *sink);
 
-    /** Publish engine-level instruments (`engine.router.*`,
-     *  `engine.sampler.*`, config broadcast) into @p reg. */
+    /** Publish engine-level instruments (config broadcast) into
+     *  @p reg. Per-device instruments (`engine.router.*`,
+     *  `engine.sampler.*`) are published by the owning DeviceContext
+     *  so array runs can namespace them per device. */
     void publishMetrics(sim::MetricRegistry &reg) const;
 
   private:
@@ -216,7 +246,19 @@ class GnnEngine
     void startStreaming(std::shared_ptr<Batch> b);
     void streamCommand(const std::shared_ptr<Batch> &b,
                        flash::GnnSampleParams params, sim::Tick ready,
-                       unsigned from_channel);
+                       unsigned from_channel, unsigned dev);
+
+    /** Schedule a follow-up command at @p parsed: locally on @p dev,
+     *  or — when its node lives elsewhere — across the P2P fabric. */
+    void scheduleChild(const std::shared_ptr<Batch> &b,
+                       flash::GnnSampleParams child, sim::Tick parsed,
+                       unsigned this_channel, unsigned dev);
+
+    /** Owning device of @p node (0 without a fabric owner table). */
+    unsigned ownerOf(graph::NodeId node) const;
+
+    /** Router statistics summed over every port (peak queue = max). */
+    DispatchStats routerTotals() const;
 
     /** Hop-by-hop (barrier) pipeline. */
     void startBarrier(std::shared_ptr<Batch> b);
@@ -226,16 +268,19 @@ class GnnEngine
     void finishBatch(const std::shared_ptr<Batch> &b, sim::Tick when);
 
     sim::EventQueue &queue;
-    flash::FlashBackend &backend;
-    ssd::Firmware &fw;
+    /** Components built by the single-device convenience constructor
+     *  (empty when the caller supplies the ports). Declared before
+     *  `ports` so the port can reference them during construction. */
+    std::unique_ptr<DieSampler> ownedSampler;
+    std::unique_ptr<CommandRouter> ownedRouter;
+    /** Per-device hardware (size >= 1; all components borrowed). */
+    std::vector<DevicePort> ports;
     const dg::DirectGraphLayout &layout;
     const graph::Graph &g;
     gnn::ModelConfig model;
     PrepFlags _flags;
     const dg::SectionSource &source;
-    DieSampler sampler;
-    /** Hardware command path (constructed when flags.hwRouter). */
-    std::unique_ptr<CommandRouter> router;
+    FabricConfig fabric;
     /** Completion time of the one-time GNN config broadcast. */
     sim::Tick configDone = 0;
     /** Opt-in command-lifetime trace (not owned). */

@@ -42,9 +42,10 @@ FlashBackend::read(sim::Tick ready, Ppa ppa, std::uint32_t transfer_bytes,
     unsigned die_idx = loc.channel * cfg.diesPerChannel + loc.die;
     ++_reads;
     if (traceSink) {
-        traceSink->complete("sense", "flash", kTraceDiePid, die_idx,
-                            sense.start, sense.end);
-        traceSink->complete("xfer", "flash", kTraceChannelPid,
+        traceSink->complete("sense", "flash", tracePidBase + kTraceDiePid,
+                            die_idx, sense.start, sense.end);
+        traceSink->complete("xfer", "flash",
+                            tracePidBase + kTraceChannelPid,
                             loc.channel, xfer.start, xfer.end);
     }
     if (cfg.dualRegister) {
@@ -80,10 +81,11 @@ FlashBackend::program(sim::Tick ready, Ppa ppa, std::uint32_t transfer_bytes)
     t.senseEnd = prog.end;
     ++_programs;
     if (traceSink) {
-        traceSink->complete("data-in", "flash", kTraceChannelPid,
+        traceSink->complete("data-in", "flash",
+                            tracePidBase + kTraceChannelPid,
                             loc.channel, in.start, in.end);
         traceSink->complete(
-            "program", "flash", kTraceDiePid,
+            "program", "flash", tracePidBase + kTraceDiePid,
             loc.channel * cfg.diesPerChannel + loc.die, prog.start,
             prog.end);
     }
@@ -107,7 +109,7 @@ FlashBackend::erase(sim::Tick ready, BlockId block)
     ++_erases;
     if (traceSink) {
         traceSink->complete(
-            "erase", "flash", kTraceDiePid,
+            "erase", "flash", tracePidBase + kTraceDiePid,
             loc.channel * cfg.diesPerChannel + loc.die, er.start,
             er.end);
     }
@@ -181,21 +183,25 @@ FlashBackend::publishMetrics(sim::MetricRegistry &reg) const
 }
 
 void
-FlashBackend::setTraceSink(sim::TraceSink *sink)
+FlashBackend::setTraceSink(sim::TraceSink *sink, std::uint32_t pid_base,
+                           const std::string &name_prefix)
 {
     traceSink = sink;
+    tracePidBase = pid_base;
     if (!sink)
         return;
-    sink->setProcessName(kTraceDiePid, "flash dies");
-    sink->setProcessName(kTraceChannelPid, "flash channels");
+    sink->setProcessName(pid_base + kTraceDiePid,
+                         name_prefix + "flash dies");
+    sink->setProcessName(pid_base + kTraceChannelPid,
+                         name_prefix + "flash channels");
     for (unsigned d = 0; d < dieCount(); ++d) {
-        sink->setThreadName(kTraceDiePid, d,
+        sink->setThreadName(pid_base + kTraceDiePid, d,
                             "ch" + std::to_string(d / cfg.diesPerChannel) +
                                 ".die" +
                                 std::to_string(d % cfg.diesPerChannel));
     }
     for (unsigned c = 0; c < channelCount(); ++c)
-        sink->setThreadName(kTraceChannelPid, c,
+        sink->setThreadName(pid_base + kTraceChannelPid, c,
                             "ch" + std::to_string(c));
 }
 

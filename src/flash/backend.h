@@ -129,8 +129,15 @@ class FlashBackend
      * Attach a Chrome-trace sink: every subsequent read/program/erase
      * emits complete events on per-die and per-channel tracks. Also
      * registers the track names. nullptr detaches.
+     *
+     * @param pid_base    Added to every TracePid this backend emits,
+     *                    so the devices of an array get disjoint
+     *                    process tracks (device d uses 4*d).
+     * @param name_prefix Prepended to the registered process names
+     *                    (e.g. "dev2 ").
      */
-    void setTraceSink(sim::TraceSink *sink);
+    void setTraceSink(sim::TraceSink *sink, std::uint32_t pid_base = 0,
+                      const std::string &name_prefix = "");
 
     /** Reset all occupancy and statistics (keeps configuration). */
     void resetStats();
@@ -148,6 +155,7 @@ class FlashBackend
     std::uint64_t _programs = 0;
     std::uint64_t _erases = 0;
     sim::TraceSink *traceSink = nullptr;
+    std::uint32_t tracePidBase = 0;
 };
 
 /** Trace track (pid) ids used by the backend and the engine layer. */

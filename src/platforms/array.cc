@@ -1,219 +1,35 @@
 #include "platforms/array.h"
 
-#include "engines/command_router.h"
-#include "engines/die_sampler.h"
-#include "gnn/compute.h"
-#include "sim/event_queue.h"
 #include "sim/log.h"
-#include "sim/rng.h"
 
 namespace beacongnn::platforms {
 
-namespace {
-
-/** Owner device of a node (hash partitioning). */
-unsigned
-ownerOf(graph::NodeId node, unsigned devices)
-{
-    return static_cast<unsigned>(sim::splitmix64(node) % devices);
-}
-
-/** One SSD of the array: its own backend, frontend and engines. */
-struct Device
-{
-    std::unique_ptr<flash::FlashBackend> backend;
-    std::unique_ptr<ssd::Firmware> firmware;
-    std::unique_ptr<engines::CommandRouter> router;
-    /** Outbound P2P port (bandwidth-serialized). */
-    sim::BandwidthResource p2pOut;
-
-    Device(const ssd::SystemConfig &sys, double p2p_mbps)
-        : backend(std::make_unique<flash::FlashBackend>(sys.flash)),
-          firmware(std::make_unique<ssd::Firmware>(sys)),
-          router(std::make_unique<engines::CommandRouter>(sys.engine,
-                                                          sys.flash)),
-          p2pOut(p2p_mbps, "p2p")
-    {
-    }
-};
-
-/** Streaming BG-2 execution across the array. */
-class ArrayEngine
-{
-  public:
-    ArrayEngine(const ArrayConfig &acfg_, const RunConfig &run,
-                const WorkloadBundle &bundle_)
-        : acfg(acfg_), bundle(bundle_),
-          sampler(run.system.engine,
-                  flash::GnnGlobalConfig{bundle.model.hops,
-                                         bundle.model.fanout,
-                                         bundle.model.featureDim, 2,
-                                         bundle.model.seed})
-    {
-        for (unsigned d = 0; d < acfg.devices; ++d)
-            devices.push_back(
-                std::make_unique<Device>(run.system, acfg.p2pMBps));
-    }
-
-    /** Run one mini-batch; returns its finish time. */
-    sim::Tick
-    runBatch(sim::Tick start, std::uint64_t batch_id,
-             std::span<const graph::NodeId> targets,
-             ArrayRunResult &out)
-    {
-        outstanding = 0;
-        finishMax = start;
-        sg.clear();
-        const auto &host = devices[0]->firmware->config().host;
-        sim::Tick ready = start + host.batchOverhead +
-                          host.nvmeRoundTrip +
-                          host.translatePerNode * targets.size();
-        for (graph::NodeId t : targets) {
-            flash::GnnSampleParams p;
-            dg::DgAddress a = bundle.layout.primaryOf(t);
-            p.ppa = a.page();
-            p.sectionIndex = static_cast<std::uint8_t>(a.section());
-            p.hop = 0;
-            p.batchId = static_cast<std::uint32_t>(batch_id);
-            p.parentSlot = gnn::kNoParent;
-            p.retrieveFeature = true;
-            p.sampleCount = bundle.model.fanout;
-            ++outstanding;
-            unsigned dev = ownerOf(t, acfg.devices);
-            queue.scheduleAt(ready, [this, p, dev, &out] {
-                command(p, queue.now(), dev, out);
-            });
-        }
-        queue.run();
-        out.lastSubgraph = sg;
-        return finishMax;
-    }
-
-  private:
-    void
-    command(flash::GnnSampleParams params, sim::Tick ready,
-            unsigned dev_idx, ArrayRunResult &out)
-    {
-        Device &dev = *devices[dev_idx];
-        // Route through the device's channel hardware.
-        sim::Tick dispatched = dev.router->route(
-            ready, dev.backend->codec().channelOf(params.ppa),
-            params.ppa);
-
-        dg::DgAddress addr(params.ppa, params.sectionIndex);
-        auto section = bundle.source->fetch(addr);
-        flash::GnnSampleResult result = sampler.execute(section, params);
-
-        flash::FlashOpTiming t = dev.backend->read(
-            dispatched, params.ppa, result.frameBytes(),
-            sampler.latency(result));
-        dev.router->bindCompletion(params.ppa, t.xferEnd);
-        sim::Tick parsed = dev.router->parse(t.xferEnd);
-        if (result.featureIncluded)
-            dev.firmware->dram().acquire(parsed, result.featureBytes);
-
-        ++out.commands;
-        if (!result.ok) {
-            out.ok = false;
-        }
-
-        gnn::Slot parent = params.parentSlot;
-        if (!params.isSecondary && result.ok) {
-            parent = sg.add(static_cast<graph::NodeId>(result.nodeId),
-                            params.hop, params.parentSlot);
-        }
-
-        outstanding += result.follow.size();
-        for (auto &f : result.follow) {
-            f.params.parentSlot = parent;
-            flash::GnnSampleParams child = f.params;
-            // The child may live on another SSD: its section owner's
-            // node id decides. Secondary continuations stay local
-            // (same node's data); primary children go to the owner of
-            // the child node.
-            unsigned child_dev = dev_idx;
-            if (!child.isSecondary) {
-                if (auto sp = bundle.layout.find(dg::DgAddress(
-                        child.ppa, child.sectionIndex))) {
-                    child_dev = ownerOf(sp->node, acfg.devices);
-                }
-            }
-            sim::Tick child_ready = parsed;
-            if (child_dev != dev_idx) {
-                // Command descriptor over the P2P link.
-                sim::Grant link = dev.p2pOut.acquire(
-                    parsed, acfg.commandBytes);
-                child_ready = link.end + acfg.p2pLatency;
-                ++out.crossDevice;
-            }
-            queue.scheduleAt(child_ready,
-                             [this, child, child_dev, &out] {
-                                 command(child, queue.now(), child_dev,
-                                         out);
-                             });
-        }
-
-        finishMax = std::max(finishMax, parsed);
-        --outstanding;
-        // outstanding hits zero only after the last scheduled child
-        // has executed; queue.run() drains everything either way.
-    }
-
-    ArrayConfig acfg;
-    const WorkloadBundle &bundle;
-    engines::DieSampler sampler;
-    std::vector<std::unique_ptr<Device>> devices;
-    sim::EventQueue queue;
-    std::uint64_t outstanding = 0;
-    sim::Tick finishMax = 0;
-    gnn::Subgraph sg;
-};
-
-} // namespace
-
 ArrayRunResult
 runArray(const ArrayConfig &acfg, const RunConfig &run,
-         const WorkloadBundle &bundle)
+         const WorkloadBundle &bundle, sim::MetricRegistry *metrics)
 {
-    ArrayRunResult res;
-    res.devices = acfg.devices;
     if (acfg.devices == 0)
         sim::fatal("runArray: zero devices");
 
-    ArrayEngine engine(acfg, run, bundle);
-    accel::Accelerator accelerator(accel::ssdAcceleratorConfig());
-    // One accelerator per device; compute shards by target owner. We
-    // model the aggregate as `devices` parallel accelerators.
-    sim::ServerPool accel_pool(acfg.devices, "array-accel");
+    RunConfig rc = run;
+    rc.topology = acfg.topology();
+    RunResult full = runPlatform(makePlatform(PlatformKind::BG2), rc,
+                                 bundle, metrics);
 
-    sim::Pcg32 rng(run.targetSeed, 0xACE5);
-    sim::Tick prep_start = 0;
-    sim::Tick last_compute = 0;
-    for (std::uint32_t batch = 0; batch < run.batches; ++batch) {
-        std::vector<graph::NodeId> targets(run.batchSize);
-        for (auto &t : targets)
-            t = rng.below(bundle.graph.numNodes());
-        sim::Tick finish = engine.runBatch(prep_start, batch, targets,
-                                           res);
-        gnn::ComputeWorkload w =
-            gnn::measureCompute(res.lastSubgraph, bundle.model);
-        // Each device computes its shard: 1/devices of the work.
-        accel::ComputeEstimate est = accelerator.estimate(w);
-        sim::Grant cg = accel_pool.acquire(
-            finish, est.total() / std::max(1u, acfg.devices));
-        last_compute = std::max(last_compute, cg.end);
-        prep_start = finish;
-        res.targets += targets.size();
-    }
-    res.totalTime = std::max(prep_start, last_compute);
-    res.throughput = res.totalTime == 0
-                         ? 0.0
-                         : static_cast<double>(res.targets) /
-                               sim::toSeconds(res.totalTime);
-    res.crossFraction =
-        res.commands == 0 ? 0.0
-                          : static_cast<double>(res.crossDevice) /
-                                static_cast<double>(res.commands);
+    ArrayRunResult res;
+    res.devices = acfg.devices;
+    res.targets = full.targets;
+    res.totalTime = full.totalTime;
+    res.throughput = full.throughput;
+    res.commands = full.commands;
+    res.crossDevice = full.crossDevice;
+    res.crossFraction = full.crossFraction;
+    res.perDeviceCommands.reserve(full.perDevice.size());
+    for (const engines::DeviceTally &t : full.perDevice)
+        res.perDeviceCommands.push_back(t.commands);
+    res.lastSubgraph = full.lastSubgraph;
+    res.ok = full.ok;
+    res.run = std::move(full);
     return res;
 }
 

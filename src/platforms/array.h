@@ -4,13 +4,21 @@
  * proof"): multiple BeaconGNN SSDs connected by direct P2P links,
  * working collaboratively on one GNN task.
  *
- * The graph is hash-partitioned across devices; every device runs the
- * full BG-2 stack (die samplers + channel routers) over its shard.
- * When a sampling command's destination node lives on another device,
- * the command descriptor crosses the P2P link (small transfer) and
+ * The graph is partitioned across devices (hash by default; see
+ * platforms/topology.h for the policies); every device runs the full
+ * BG-2 stack (die samplers + channel routers) over its shard. When a
+ * sampling command's destination node lives on another device, the
+ * command descriptor crosses the P2P link (small transfer) and
  * continues on the owner — the out-of-order streaming discipline is
  * unchanged, and thanks to keyed sampling the array produces exactly
  * the same subgraphs as a single device.
+ *
+ * runArray() is a convenience wrapper over the sharded platform
+ * runner: it executes the BG-2 platform with RunConfig::topology set
+ * from the ArrayConfig, so an array run measures everything a plain
+ * run does (per-hop timelines, byte tallies, energy, per-device
+ * `array.dev<D>.*` metrics) through the exact same code path — a
+ * devices = 1 array run IS the single-SSD BG-2 run.
  */
 
 #ifndef BEACONGNN_PLATFORMS_ARRAY_H
@@ -27,6 +35,20 @@ struct ArrayConfig
     double p2pMBps = 4000.0;         ///< Per-device P2P port bandwidth.
     sim::Tick p2pLatency = sim::microseconds(1); ///< Link hop latency.
     std::uint32_t commandBytes = 16; ///< Forwarded command descriptor.
+    PartitionPolicy partition = PartitionPolicy::Hash;
+
+    /** The equivalent run topology. */
+    TopologyConfig
+    topology() const
+    {
+        TopologyConfig t;
+        t.devices = devices;
+        t.p2pMBps = p2pMBps;
+        t.p2pLatency = p2pLatency;
+        t.commandBytes = commandBytes;
+        t.partition = partition;
+        return t;
+    }
 };
 
 /** Result of an array run. */
@@ -38,18 +60,27 @@ struct ArrayRunResult
     double throughput = 0;          ///< Targets per second.
     std::uint64_t commands = 0;
     std::uint64_t crossDevice = 0;  ///< Commands that crossed the P2P.
+    /** crossDevice / commands; 0 when no command ran. */
     double crossFraction = 0;
+    /** Commands executed on each device (devices entries). */
+    std::vector<std::uint64_t> perDeviceCommands;
     gnn::Subgraph lastSubgraph;
     bool ok = true;
+    /** The full platform measurement behind the summary above. */
+    RunResult run;
 };
 
 /**
- * Run a BG-2 workload on an array of @p acfg.devices SSDs.
- * Node v is owned by device hash(v) % devices; each device gets its
- * own flash backend, firmware, channel router and accelerator.
+ * Run a BG-2 workload on an array of @p acfg.devices SSDs. Each
+ * device gets its own flash backend, firmware, channel router and
+ * accelerator; node ownership follows acfg.partition.
+ *
+ * @param metrics When non-null, receives a merged copy of the full
+ *                instrument registry (aggregate + `array.dev<D>.*`).
  */
 ArrayRunResult runArray(const ArrayConfig &acfg, const RunConfig &run,
-                        const WorkloadBundle &bundle);
+                        const WorkloadBundle &bundle,
+                        sim::MetricRegistry *metrics = nullptr);
 
 } // namespace beacongnn::platforms
 

@@ -1,8 +1,11 @@
 #include "platforms/runner.h"
 
 #include <algorithm>
+#include <string>
 
 #include "gnn/compute.h"
+#include "platforms/device_context.h"
+#include "platforms/partition.h"
 #include "sim/event_queue.h"
 #include "sim/log.h"
 #include "sim/rng.h"
@@ -54,40 +57,62 @@ struct PlatformSession::Impl
     const WorkloadBundle &bundle;
 
     sim::EventQueue queue;
-    flash::FlashBackend backend;
-    ssd::Firmware fw;
-    accel::Accelerator accelerator;
-    sim::Bus accelBus{"accel"};
-    engines::GnnEngine engine;
+    /** Node ownership map (degenerate for a single device). */
+    Partition partition;
+    /** The SSDs of the topology (one for a plain run). */
+    std::vector<std::unique_ptr<DeviceContext>> devices;
+    std::unique_ptr<engines::GnnEngine> engine;
 
     RunResult res;
     sim::MetricRegistry reg;
     sim::Tick prepFree = 0;
     sim::Tick lastComputeEnd = 0;
     std::uint32_t batches = 0;
+    /** Per-device tallies summed over batches. */
+    std::vector<engines::DeviceTally> devTallies;
+    std::uint64_t crossDeviceTotal = 0;
 
     Impl(const PlatformConfig &p, const RunConfig &r,
          const WorkloadBundle &b)
-        : platform(p), run(r), bundle(b),
-          backend(r.system.flash, r.traceUtilization), fw(r.system),
-          accelerator(p.ssdCompute ? accel::ssdAcceleratorConfig()
-                                   : accel::discreteTpuConfig()),
-          engine(queue, backend, fw, b.layout, b.graph, b.model,
-                 p.flags, *b.source)
+        : platform(p), run(r), bundle(b)
     {
-        // Mirror the bundle's block reservation in this run's FTL.
-        // The layout's addresses are only valid if this FTL reserves
-        // the *same* blocks the bundle was laid out on, so mirror the
-        // exact list rather than re-reserving by count.
-        if (!fw.ftl().reserveExact(bundle.layout.blocks))
-            sim::fatal("PlatformSession: cannot mirror the bundle's "
-                       "block reservation (geometry mismatch?)");
+        const TopologyConfig &topo = run.topology;
+        if (topo.devices == 0)
+            sim::fatal("PlatformSession: zero devices");
+        if (topo.multi()) {
+            if (!p.flags.directGraph)
+                sim::fatal("PlatformSession: multi-device topologies "
+                           "require a streaming (DirectGraph) "
+                           "platform, not " + p.name);
+            partition = Partition::build(b.graph, topo.partition,
+                                         topo.devices);
+        }
+        std::vector<engines::DevicePort> ports;
+        for (unsigned d = 0; d < topo.devices; ++d) {
+            devices.push_back(std::make_unique<DeviceContext>(
+                p, r.system, topo, b.model, b.layout.blocks, d,
+                r.traceUtilization));
+            ports.push_back(devices.back()->port());
+        }
+        devTallies.resize(devices.size());
+
+        engines::FabricConfig fabric;
+        fabric.p2pLatency = topo.p2pLatency;
+        fabric.commandBytes = topo.commandBytes;
+        fabric.owner =
+            partition.table().empty() ? nullptr : &partition.table();
+        engine = std::make_unique<engines::GnnEngine>(
+            queue, std::move(ports), b.layout, b.graph, b.model,
+            p.flags, *b.source, fabric);
+
         if (r.traceSink) {
-            backend.setTraceSink(r.traceSink);
-            engine.setTraceSink(r.traceSink);
+            for (auto &dev : devices)
+                dev->setTraceSink(r.traceSink, topo.multi());
+            engine->setTraceSink(r.traceSink);
         }
         res.platform = platform.name;
         res.workload = bundle.name;
+        res.devices = topo.devices;
     }
 };
 
@@ -121,11 +146,11 @@ PlatformSession::runBatch(sim::Tick ready,
 
     engines::PrepResult pr;
     bool got = false;
-    s.engine.prepare(std::max(ready, s.prepFree), s.batches, targets,
-                     [&](engines::PrepResult &&r) {
-                         pr = std::move(r);
-                         got = true;
-                     });
+    s.engine->prepare(std::max(ready, s.prepFree), s.batches, targets,
+                      [&](engines::PrepResult &&r) {
+                          pr = std::move(r);
+                          got = true;
+                      });
     s.queue.run();
     if (!got)
         sim::panic("runBatch: prep did not complete");
@@ -135,20 +160,33 @@ PlatformSession::runBatch(sim::Tick ready,
     svc.prepStart = pr.start;
     svc.prepFinish = pr.finish;
 
-    // Compute of this batch overlaps the next batch's prep.
+    // Compute of this batch overlaps the next batch's prep. Every
+    // device computes its 1/devices shard of the batch on its own
+    // accelerator, staging the features it prepared locally.
     gnn::ComputeWorkload w =
         gnn::measureCompute(pr.subgraph, s.bundle.model);
-    accel::ComputeEstimate est = s.accelerator.estimate(w);
-    sim::Grant cg = s.accelBus.acquire(pr.finish, est.total());
-    if (s.platform.ssdCompute && pr.tally.featureBytes > 0 &&
-        !s.platform.flags.bypassDram) {
-        // Staged features stream DRAM -> accelerator SRAM (the
-        // §VIII direct flash->SRAM option skips both DRAM legs).
-        s.fw.dram().acquire(cg.start, pr.tally.featureBytes);
+    const sim::Tick ndev = static_cast<sim::Tick>(s.devices.size());
+    accel::ComputeEstimate est = s.devices[0]->accelerator().estimate(w);
+    sim::Tick compute_start = 0;
+    sim::Tick compute_end = 0;
+    for (std::size_t d = 0; d < s.devices.size(); ++d) {
+        DeviceContext &dev = *s.devices[d];
+        sim::Grant cg =
+            dev.accelBus().acquire(pr.finish, est.total() / ndev);
+        if (s.platform.ssdCompute && pr.perDevice[d].featureBytes > 0 &&
+            !s.platform.flags.bypassDram) {
+            // Staged features stream DRAM -> accelerator SRAM (the
+            // §VIII direct flash->SRAM option skips both DRAM legs).
+            dev.firmware().dram().acquire(cg.start,
+                                          pr.perDevice[d].featureBytes);
+        }
+        compute_start = d == 0 ? cg.start
+                               : std::min(compute_start, cg.start);
+        compute_end = std::max(compute_end, cg.end);
     }
-    svc.computeStart = cg.start;
-    svc.computeEnd = cg.end;
-    s.lastComputeEnd = cg.end;
+    svc.computeStart = compute_start;
+    svc.computeEnd = compute_end;
+    s.lastComputeEnd = std::max(s.lastComputeEnd, compute_end);
     accel::publishEstimate(s.reg, est);
 
     // Merge the batch's statistics into the session registry; the
@@ -159,6 +197,9 @@ PlatformSession::runBatch(sim::Tick ready,
     s.reg.counter("engine.deduped_reads").add(pr.dedupedReads);
     s.reg.counter("run.batches").add(1);
     s.reg.counter("run.targets").add(targets.size());
+    s.crossDeviceTotal += pr.crossDevice;
+    for (std::size_t d = 0; d < s.devTallies.size(); ++d)
+        s.devTallies[d].merge(pr.perDevice[d]);
 
     RunResult &res = s.res;
     res.hops = pr.hops;
@@ -178,15 +219,36 @@ PlatformSession::finish()
 
     // Every component publishes its instruments; RunResult is then
     // populated *from the registry* so the snapshot exporters and the
-    // figure outputs read the same numbers.
-    s.backend.publishMetrics(reg);
-    s.fw.publishMetrics(reg);
-    s.engine.publishMetrics(reg);
-    reg.counter("accel.busy_ticks").add(s.accelBus.busyTime());
+    // figure outputs read the same numbers. A single device publishes
+    // straight into the session registry (the historical names); an
+    // array publishes each device into a scratch registry first, then
+    // merges it twice — unprefixed for the aggregate view and under
+    // `array.dev<D>.` for the per-device view.
+    const std::size_t ndev = s.devices.size();
+    if (ndev == 1) {
+        s.devices[0]->publishMetrics(reg);
+    } else {
+        for (const auto &dev : s.devices) {
+            sim::MetricRegistry dev_reg;
+            dev->publishMetrics(dev_reg);
+            reg.merge(dev_reg);
+            reg.merge(dev_reg,
+                      "array.dev" + std::to_string(dev->index()) + ".");
+        }
+    }
+    s.engine->publishMetrics(reg);
 
     res.cmdStats = engines::CmdStats::fromRegistry(reg);
     res.tally = engines::PrepTally::fromRegistry(reg);
     res.targets = reg.counter("run.targets").value();
+    if (const sim::Counter *c = reg.findCounter("engine.commands"))
+        res.commands = c->value();
+    res.crossDevice = s.crossDeviceTotal;
+    res.crossFraction =
+        res.commands == 0 ? 0.0
+                          : static_cast<double>(res.crossDevice) /
+                                static_cast<double>(res.commands);
+    res.perDevice = s.devTallies;
 
     res.prepTime = s.prepFree;
     res.totalTime = std::max(s.prepFree, s.lastComputeEnd);
@@ -199,44 +261,61 @@ PlatformSession::finish()
 
     // Resource utilizations over the run, from the published busy
     // tick counters (identical uint64 values the components held).
+    // Busy counters aggregate over every device of the topology, so
+    // the unit counts scale by the device count.
+    flash::FlashBackend &backend0 = s.devices[0]->backend();
+    ssd::Firmware &fw0 = s.devices[0]->firmware();
     sim::Tick horizon = std::max<sim::Tick>(1, res.totalTime);
     res.dieUtil =
         static_cast<double>(reg.counter("flash.die_busy_ticks").value()) /
-        (static_cast<double>(horizon) * s.backend.dieCount());
+        (static_cast<double>(horizon) * backend0.dieCount() *
+         static_cast<double>(ndev));
     res.channelUtil =
         static_cast<double>(
             reg.counter("flash.channel_busy_ticks").value()) /
-        (static_cast<double>(horizon) * s.backend.channelCount());
+        (static_cast<double>(horizon) * backend0.channelCount() *
+         static_cast<double>(ndev));
     res.coreUtil =
         static_cast<double>(
             reg.counter("ssd.firmware.core_busy").value()) /
         (static_cast<double>(horizon) *
-         static_cast<double>(s.fw.issueCores().size() +
-                             s.fw.completeCores().size()));
+         static_cast<double>(fw0.issueCores().size() +
+                             fw0.completeCores().size()) *
+         static_cast<double>(ndev));
     res.dramUtil =
         static_cast<double>(reg.counter("ssd.dram.busy_ticks").value()) /
-        static_cast<double>(horizon);
+        (static_cast<double>(horizon) * static_cast<double>(ndev));
     res.pcieUtil =
         static_cast<double>(reg.counter("ssd.pcie.busy_ticks").value()) /
-        static_cast<double>(horizon);
+        (static_cast<double>(horizon) * static_cast<double>(ndev));
     res.accelBusy = reg.counter("accel.busy_ticks").value();
     res.hostBusy = res.tally.hostCpuBusy;
 
     if (s.run.traceUtilization) {
+        // The per-unit interval traces of device D live under the
+        // historical names (single device) or `array.devD.` (array);
+        // the series then counts active units across the whole fleet.
         std::vector<const sim::IntervalTrace *> die_traces;
-        for (unsigned d = 0; d < s.backend.dieCount(); ++d) {
-            if (const auto *t = reg.findInterval(
-                    s.backend.dieMetricName(d, "busy_intervals")))
-                die_traces.push_back(t);
+        std::vector<const sim::IntervalTrace *> ch_traces;
+        for (std::size_t dev = 0; dev < ndev; ++dev) {
+            std::string prefix =
+                ndev == 1 ? std::string()
+                          : "array.dev" + std::to_string(dev) + ".";
+            for (unsigned d = 0; d < backend0.dieCount(); ++d) {
+                if (const auto *t = reg.findInterval(
+                        prefix +
+                        backend0.dieMetricName(d, "busy_intervals")))
+                    die_traces.push_back(t);
+            }
+            for (unsigned c = 0; c < backend0.channelCount(); ++c) {
+                if (const auto *t = reg.findInterval(
+                        prefix +
+                        backend0.channelMetricName(c, "busy_intervals")))
+                    ch_traces.push_back(t);
+            }
         }
         res.dieSeries = sim::activeSeries(die_traces, horizon,
                                           s.run.utilizationBuckets);
-        std::vector<const sim::IntervalTrace *> ch_traces;
-        for (unsigned c = 0; c < s.backend.channelCount(); ++c) {
-            if (const auto *t = reg.findInterval(
-                    s.backend.channelMetricName(c, "busy_intervals")))
-                ch_traces.push_back(t);
-        }
         res.channelSeries = sim::activeSeries(ch_traces, horizon,
                                               s.run.utilizationBuckets);
     }
@@ -266,6 +345,38 @@ PlatformSession::finish()
     reg.gauge("run.dram_util").set(res.dramUtil);
     reg.gauge("run.pcie_util").set(res.pcieUtil);
     reg.gauge("run.ok").set(res.ok ? 1.0 : 0.0);
+
+    // Array-level instruments exist only on multi-device runs, so a
+    // devices = 1 snapshot stays byte-identical to the historical
+    // single-SSD snapshot.
+    if (ndev > 1) {
+        reg.gauge("array.devices").set(static_cast<double>(ndev));
+        reg.counter("array.commands").add(res.commands);
+        reg.counter("array.cross_device").add(res.crossDevice);
+        reg.gauge("array.cross_fraction").set(res.crossFraction);
+        std::uint64_t forwards = 0, p2p_bytes = 0;
+        sim::Tick p2p_busy = 0;
+        for (std::size_t d = 0; d < ndev; ++d) {
+            const engines::DeviceTally &t = s.devTallies[d];
+            const std::string prefix =
+                "array.dev" + std::to_string(d) + ".";
+            reg.counter(prefix + "commands").add(t.commands);
+            reg.counter(prefix + "flash_reads").add(t.flashReads);
+            reg.counter(prefix + "feature_bytes").add(t.featureBytes);
+            reg.counter(prefix + "p2p.out_forwards").add(t.p2pForwards);
+            reg.counter(prefix + "p2p.out_bytes").add(t.p2pBytes);
+            const sim::BandwidthResource *link =
+                s.devices[d]->p2pOut();
+            sim::Tick busy = link ? link->busyTime() : 0;
+            reg.counter(prefix + "p2p.busy_ticks").add(busy);
+            forwards += t.p2pForwards;
+            p2p_bytes += t.p2pBytes;
+            p2p_busy += busy;
+        }
+        reg.counter("array.p2p.forwards").add(forwards);
+        reg.counter("array.p2p.bytes").add(p2p_bytes);
+        reg.counter("array.p2p.busy_ticks").add(p2p_busy);
+    }
     return res;
 }
 

@@ -23,6 +23,7 @@
 #include "energy/energy.h"
 #include "graph/dataset.h"
 #include "platforms/platform.h"
+#include "platforms/topology.h"
 #include "sim/metrics.h"
 
 namespace beacongnn::sim {
@@ -80,6 +81,10 @@ struct RunConfig
     /** Opt-in Chrome-trace sink recording command lifetimes and flash
      *  operations (not owned; nullptr = no tracing). */
     sim::TraceSink *traceSink = nullptr;
+    /** Scale-out topology (§VIII). The default single device runs the
+     *  plain platform; devices > 1 shards the graph across an array
+     *  of identical SSDs (streaming platforms only). */
+    TopologyConfig topology{};
 };
 
 /** Everything measured in one run. */
@@ -116,6 +121,15 @@ struct RunResult
     double avgPowerW = 0;
 
     gnn::Subgraph lastSubgraph; ///< For functional validation.
+
+    // Scale-out array view (degenerate for a single-device run).
+    unsigned devices = 1;          ///< Devices of the topology.
+    std::uint64_t commands = 0;    ///< Flash commands executed.
+    std::uint64_t crossDevice = 0; ///< Commands that crossed P2P links.
+    /** crossDevice / commands; 0 when no command ran. */
+    double crossFraction = 0;
+    /** Per-device command/byte tallies (devices entries). */
+    std::vector<engines::DeviceTally> perDevice;
 };
 
 /** Timing of one mini-batch's trip through the platform pipeline. */

@@ -75,11 +75,21 @@ serveWorkload(const platforms::PlatformConfig &platform,
                            : static_cast<double>(res.requests) /
                                  sim::toSeconds(res.makespan);
 
+    // finish() makes every platform component publish into the
+    // session registry and yields the run-level measurement, which
+    // carries the scale-out view (per-device tallies, P2P traffic).
+    platforms::RunResult rr = session.finish();
+    if (!rr.ok)
+        res.ok = false;
+    res.devices = rr.devices;
+    res.commands = rr.commands;
+    res.crossDevice = rr.crossDevice;
+    res.crossFraction = rr.crossFraction;
+    res.perDevice = rr.perDevice;
+
     if (metrics) {
-        // finish() makes every platform component publish into the
-        // session registry; fold that in, then the serving layer's
-        // own instruments on top.
-        (void)session.finish();
+        // Fold the session registry in, then the serving layer's own
+        // instruments on top.
         metrics->merge(session.metrics());
         metrics->counter("serve.requests").add(res.requests);
         metrics->counter("serve.batches").add(res.batches);
@@ -106,6 +116,18 @@ serveWorkload(const platforms::PlatformConfig &platform,
             metrics->counter(prefix + "requests").add(c.requests);
             metrics->counter(prefix + "violations").add(c.violations);
             metrics->accum(prefix + "total_us").merge(c.totalUs);
+        }
+        if (res.devices > 1) {
+            metrics->gauge("serve.devices")
+                .set(static_cast<double>(res.devices));
+            for (std::size_t d = 0; d < res.perDevice.size(); ++d) {
+                std::string prefix =
+                    "serve.dev" + std::to_string(d) + ".";
+                metrics->counter(prefix + "commands")
+                    .add(res.perDevice[d].commands);
+                metrics->gauge(prefix + "command_share")
+                    .set(res.deviceShare(d));
+            }
         }
     }
     return res;

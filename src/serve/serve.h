@@ -84,6 +84,25 @@ struct ServeResult
 
     std::array<ClassReport, kQosClasses> perClass;
 
+    // Scale-out view (degenerate for a single-device topology).
+    unsigned devices = 1;          ///< Devices serving the stream.
+    std::uint64_t commands = 0;    ///< Flash commands executed.
+    std::uint64_t crossDevice = 0; ///< Commands that crossed P2P links.
+    /** crossDevice / commands; 0 when no command ran. */
+    double crossFraction = 0;
+    /** Per-device command/byte tallies (devices entries). */
+    std::vector<engines::DeviceTally> perDevice;
+
+    /** Share of all flash commands device @p d executed (0..1). */
+    double
+    deviceShare(std::size_t d) const
+    {
+        if (commands == 0 || d >= perDevice.size())
+            return 0.0;
+        return static_cast<double>(perDevice[d].commands) /
+               static_cast<double>(commands);
+    }
+
     /** Total-latency percentile in microseconds. */
     double p(double pct) const { return latencyUs.percentile(pct); }
 

@@ -165,18 +165,26 @@ MetricRegistry::kindName(const Instrument &ins)
 void
 MetricRegistry::merge(const MetricRegistry &other)
 {
+    merge(other, std::string());
+}
+
+void
+MetricRegistry::merge(const MetricRegistry &other,
+                      const std::string &prefix)
+{
     for (const auto &[name, ins] : other.instruments) {
+        const std::string dst = prefix + name;
         std::visit(
             [&, this](const auto &src) {
                 using T = std::decay_t<decltype(src)>;
                 if constexpr (std::is_same_v<T, Histogram>) {
-                    histogram(name, src.bucketWidth(),
+                    histogram(dst, src.bucketWidth(),
                               src.buckets().size())
                         .merge(src);
                 } else if constexpr (std::is_same_v<T, IntervalTrace>) {
-                    interval(name).merge(src);
+                    interval(dst).merge(src);
                 } else {
-                    get<T>(name).merge(src);
+                    get<T>(dst).merge(src);
                 }
             },
             ins);

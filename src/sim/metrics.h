@@ -108,6 +108,13 @@ class MetricRegistry
      */
     void merge(const MetricRegistry &other);
 
+    /**
+     * Like merge(), but every instrument of @p other lands under
+     * `<prefix><name>` here (pass e.g. "array.dev0." to namespace one
+     * device's snapshot inside an array-wide registry).
+     */
+    void merge(const MetricRegistry &other, const std::string &prefix);
+
     /** Human-readable kind name of an instrument. */
     static const char *kindName(const Instrument &ins);
 

@@ -256,6 +256,30 @@ void publish(Reg &reg) {
     EXPECT_TRUE(fs.empty());
 }
 
+TEST(Bgn004, ArrayRootAccepted)
+{
+    // Scale-out instruments live under the `array.` root (§10/§12):
+    // aggregate names plus the per-device `array.dev<D>.` namespace.
+    auto fs = lintOne("src/platforms/ok.cc", R"cpp(
+void publish(Reg &reg) {
+    reg.gauge("array.devices").set(4.0);
+    reg.counter("array.cross_device").add(1);
+    reg.counter("array.dev0.commands").add(7);
+    reg.counter("array.p2p.bytes").add(16);
+}
+)cpp");
+    EXPECT_TRUE(fs.empty());
+    // ...but the components still have to be lower_snake.
+    auto bad = lintOne("src/platforms/bad.cc", R"cpp(
+void publish(Reg &reg) {
+    reg.counter("array.Dev0.Commands").add(7);
+}
+)cpp");
+    auto got = ruleLines(bad);
+    std::vector<std::pair<std::string, int>> want = {{"BGN004", 3}};
+    EXPECT_EQ(got, want);
+}
+
 TEST(Bgn004, DynamicNamesAreNotChecked)
 {
     // Prefix-built names can't be validated statically — no finding.

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the array graph partitioner (§VIII): determinism across
+ * rebuilds, the degenerate single-device map, policy semantics (hash
+ * spread, range contiguity) and the balance guarantee of the degree-
+ * aware LPT policy on a heavily skewed graph.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/dataset.h"
+#include "platforms/partition.h"
+#include "sim/rng.h"
+
+namespace {
+
+using namespace beacongnn;
+using platforms::Partition;
+using platforms::PartitionPolicy;
+
+/** A star-heavy graph: a few hubs own almost all the degree. */
+graph::Graph
+skewedGraph(graph::NodeId nodes = 400, unsigned hubs = 4)
+{
+    std::vector<std::vector<graph::NodeId>> adj(nodes);
+    for (graph::NodeId v = hubs; v < nodes; ++v) {
+        // Every leaf points at one hub; hubs point back at every leaf.
+        graph::NodeId hub = v % hubs;
+        adj[v].push_back(hub);
+        adj[hub].push_back(v);
+    }
+    return graph::Graph(adj);
+}
+
+TEST(Partition, DeterministicAcrossRebuilds)
+{
+    auto spec = graph::workload("amazon");
+    spec.simNodes = 2000;
+    auto g = spec.makeGraph();
+    for (PartitionPolicy p :
+         {PartitionPolicy::Hash, PartitionPolicy::Range,
+          PartitionPolicy::Balanced}) {
+        Partition a = Partition::build(g, p, 4);
+        Partition b = Partition::build(g, p, 4);
+        EXPECT_EQ(a.table(), b.table())
+            << platforms::partitionPolicyName(p);
+    }
+}
+
+TEST(Partition, SingleDeviceIsDegenerate)
+{
+    auto g = skewedGraph();
+    Partition p = Partition::build(g, PartitionPolicy::Hash, 1);
+    EXPECT_TRUE(p.table().empty());
+    EXPECT_EQ(p.ownerOf(0), 0u);
+    EXPECT_EQ(p.ownerOf(g.numNodes() - 1), 0u);
+    EXPECT_EQ(p.nodesOn(0), g.numNodes());
+    EXPECT_EQ(p.degreeOn(0), g.numEdges());
+}
+
+TEST(Partition, HashMatchesKeyedSplitmix)
+{
+    // The hash policy must reproduce the historical array mapping so
+    // cross-device fractions stay comparable across versions.
+    auto g = skewedGraph();
+    Partition p = Partition::build(g, PartitionPolicy::Hash, 4);
+    for (graph::NodeId v = 0; v < g.numNodes(); ++v)
+        ASSERT_EQ(p.ownerOf(v), sim::splitmix64(v) % 4) << v;
+}
+
+TEST(Partition, RangeIsContiguousAndCoversAllDevices)
+{
+    auto g = skewedGraph(997); // Deliberately not divisible by 4.
+    Partition p = Partition::build(g, PartitionPolicy::Range, 4);
+    unsigned prev = 0;
+    for (graph::NodeId v = 0; v < g.numNodes(); ++v) {
+        EXPECT_GE(p.ownerOf(v), prev);
+        prev = p.ownerOf(v);
+    }
+    EXPECT_EQ(prev, 3u); // Last device reached.
+    for (unsigned d = 0; d < 4; ++d)
+        EXPECT_GT(p.nodesOn(d), 0u);
+}
+
+TEST(Partition, BalancedBoundsLoadOnSkewedGraph)
+{
+    const unsigned devices = 4;
+    auto g = skewedGraph(400, devices);
+    Partition bal = Partition::build(g, PartitionPolicy::Balanced,
+                                     devices);
+
+    std::uint64_t max_degree = 0;
+    for (graph::NodeId v = 0; v < g.numNodes(); ++v)
+        max_degree = std::max<std::uint64_t>(max_degree, g.degree(v));
+
+    std::uint64_t max_load = 0;
+    for (unsigned d = 0; d < devices; ++d)
+        max_load = std::max(max_load, bal.degreeOn(d));
+    // LPT guarantee: max load <= average load + max node degree.
+    std::uint64_t avg = g.numEdges() / devices;
+    EXPECT_LE(max_load, avg + max_degree);
+
+    // And on this graph the degree-aware policy must beat the range
+    // policy, which piles all hubs (low ids) onto device 0.
+    Partition rng = Partition::build(g, PartitionPolicy::Range,
+                                     devices);
+    EXPECT_LT(bal.degreeSpread(), rng.degreeSpread());
+}
+
+TEST(Partition, TalliesSumToWholeGraph)
+{
+    auto spec = graph::workload("amazon");
+    spec.simNodes = 1500;
+    auto g = spec.makeGraph();
+    for (PartitionPolicy pol :
+         {PartitionPolicy::Hash, PartitionPolicy::Range,
+          PartitionPolicy::Balanced}) {
+        Partition p = Partition::build(g, pol, 3);
+        std::uint64_t nodes = 0, degree = 0;
+        for (unsigned d = 0; d < 3; ++d) {
+            nodes += p.nodesOn(d);
+            degree += p.degreeOn(d);
+        }
+        EXPECT_EQ(nodes, g.numNodes());
+        EXPECT_EQ(degree, g.numEdges());
+    }
+}
+
+} // namespace

@@ -8,11 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <set>
+#include <sstream>
+#include <string>
 
 #include "engines/command_router.h"
 #include "platforms/array.h"
+#include "platforms/report.h"
 
 namespace {
 
@@ -189,6 +193,114 @@ TEST(Array, SlowP2pLinkHurtsScaling)
     auto f = platforms::runArray(fast, rig.rc, *rig.bundle);
     auto s = platforms::runArray(slow, rig.rc, *rig.bundle);
     EXPECT_GT(f.throughput, 1.5 * s.throughput);
+}
+
+TEST(Array, ZeroCommandsLeaveCrossFractionZero)
+{
+    // A run with no batches executes no command; the cross-device
+    // fraction must be an exact 0, not a 0/0 NaN.
+    ArrayRig rig;
+    rig.rc.batches = 0;
+    platforms::ArrayConfig acfg;
+    acfg.devices = 2;
+    auto r = platforms::runArray(acfg, rig.rc, *rig.bundle);
+    EXPECT_EQ(r.commands, 0u);
+    EXPECT_EQ(r.crossDevice, 0u);
+    EXPECT_EQ(r.crossFraction, 0.0);
+    EXPECT_FALSE(std::isnan(r.crossFraction));
+}
+
+TEST(Array, PerDeviceCommandsSumToTotal)
+{
+    ArrayRig rig;
+    platforms::ArrayConfig acfg;
+    acfg.devices = 4;
+    auto r = platforms::runArray(acfg, rig.rc, *rig.bundle);
+    ASSERT_EQ(r.perDeviceCommands.size(), 4u);
+    std::uint64_t sum = 0;
+    for (std::uint64_t c : r.perDeviceCommands) {
+        EXPECT_GT(c, 0u);
+        sum += c;
+    }
+    EXPECT_EQ(sum, r.commands);
+}
+
+TEST(Array, SingleDeviceRunIsByteIdenticalToPlainBg2)
+{
+    // The equivalence golden behind DESIGN.md §12: a devices = 1
+    // array run goes through the exact same DeviceContext path as the
+    // plain BG-2 platform and must reproduce its RunResult CSV row
+    // and its full exported metrics snapshot byte for byte.
+    ArrayRig rig;
+    rig.rc.traceUtilization = true;
+    rig.rc.utilizationBuckets = 8;
+
+    sim::MetricRegistry array_reg, single_reg;
+    platforms::ArrayConfig acfg;
+    acfg.devices = 1;
+    auto array = platforms::runArray(acfg, rig.rc, *rig.bundle,
+                                     &array_reg);
+    auto single = platforms::runPlatform(
+        platforms::makePlatform(platforms::PlatformKind::BG2), rig.rc,
+        *rig.bundle, &single_reg);
+    ASSERT_TRUE(array.ok && single.ok);
+
+    std::ostringstream a_csv, s_csv;
+    platforms::writeCsvRow(a_csv, array.run);
+    platforms::writeCsvRow(s_csv, single);
+    EXPECT_EQ(a_csv.str(), s_csv.str());
+
+    std::ostringstream a_json, s_json;
+    array_reg.writeJson(a_json);
+    single_reg.writeJson(s_json);
+    EXPECT_EQ(a_json.str(), s_json.str());
+}
+
+TEST(Array, MultiDeviceRunExportsPerDeviceMetrics)
+{
+    ArrayRig rig;
+    sim::MetricRegistry reg;
+    platforms::ArrayConfig acfg;
+    acfg.devices = 4;
+    auto r = platforms::runArray(acfg, rig.rc, *rig.bundle, &reg);
+    ASSERT_TRUE(r.ok);
+    EXPECT_NE(reg.findGauge("array.devices"), nullptr);
+    EXPECT_NE(reg.findCounter("array.cross_device"), nullptr);
+    EXPECT_NE(reg.findCounter("array.p2p.bytes"), nullptr);
+    for (unsigned d = 0; d < 4; ++d) {
+        std::string p = "array.dev" + std::to_string(d) + ".";
+        EXPECT_NE(reg.findCounter(p + "commands"), nullptr) << p;
+        EXPECT_NE(reg.findCounter(p + "flash_reads"), nullptr) << p;
+        EXPECT_NE(reg.findCounter(p + "flash.reads"), nullptr) << p;
+        EXPECT_NE(reg.findCounter(p + "p2p.out_forwards"), nullptr)
+            << p;
+    }
+}
+
+TEST(Array, PartitionPolicyDoesNotChangeSubgraphs)
+{
+    // Keyed sampling again, now across partition policies: ownership
+    // decides only where a command executes, never what it samples.
+    ArrayRig rig;
+    platforms::ArrayConfig acfg;
+    acfg.devices = 4;
+    std::map<std::string, std::size_t> sizes;
+    std::uint64_t commands = 0;
+    for (auto pol :
+         {platforms::PartitionPolicy::Hash,
+          platforms::PartitionPolicy::Range,
+          platforms::PartitionPolicy::Balanced}) {
+        acfg.partition = pol;
+        auto r = platforms::runArray(acfg, rig.rc, *rig.bundle);
+        ASSERT_TRUE(r.ok);
+        sizes[platforms::partitionPolicyName(pol)] =
+            r.lastSubgraph.size();
+        if (commands == 0)
+            commands = r.commands;
+        EXPECT_EQ(r.commands, commands);
+    }
+    EXPECT_EQ(sizes["hash"], sizes["range"]);
+    EXPECT_EQ(sizes["hash"], sizes["balanced"]);
 }
 
 } // namespace

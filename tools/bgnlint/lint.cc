@@ -33,7 +33,7 @@ const std::vector<RuleInfo> kRules = {
     {"BGN004",
      "metric name violates the DESIGN.md §10 namespace grammar",
      "instrument names are lower_snake dot paths rooted at flash./"
-     "ssd./engine./accel./energy./serve./run."},
+     "ssd./engine./accel./energy./serve./run./array."},
     {"BGN005",
      "float accumulation in a parallelMap/runGrid region without a "
      "deterministic-order tag",
@@ -425,7 +425,8 @@ Linter::rule003(const FileContext &ctx)
 const std::set<std::string> kRegistryAccessors = {
     "counter", "gauge", "accum", "histogram", "interval"};
 const std::set<std::string> kMetricRoots = {
-    "flash", "ssd", "engine", "accel", "energy", "serve", "run"};
+    "flash", "ssd", "engine", "accel", "energy", "serve", "run",
+    "array"};
 
 bool
 metricNameOk(const std::string &s)
@@ -473,7 +474,7 @@ Linter::rule004(const FileContext &ctx)
             emit(ctx, t[i + 3].line, "BGN004",
                  "metric name \"" + name +
                      "\" violates the §10 grammar: "
-                     "(flash|ssd|engine|accel|energy|serve|run)"
+                     "(flash|ssd|engine|accel|energy|serve|run|array)"
                      ".lower_snake[.lower_snake...]");
     }
 }

@@ -16,8 +16,8 @@
  *  - BGN003  no raw new/delete outside the SBO kernel in src/sim/;
  *  - BGN004  MetricRegistry instrument-name literals must match the
  *            DESIGN.md §10 namespace grammar
- *            (flash.|ssd.|engine.|accel.|energy.|serve.|run. roots,
- *            lower_snake components);
+ *            (flash.|ssd.|engine.|accel.|energy.|serve.|run.|array.
+ *            roots, lower_snake components);
  *  - BGN005  no float/double accumulation inside parallelMap/runGrid
  *            call regions without a `bgnlint:deterministic-order`
  *            comment tag vouching for a fixed reduction order.

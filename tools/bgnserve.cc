@@ -57,6 +57,12 @@ usage(const char *argv0, int status = 2)
         "  --slo-ms A,B,C      per-class SLO targets, ms "
         "(default 5,20,100)\n"
         "  --nodes N           override the workload's node count\n"
+        "  --devices N         SSDs in a scale-out array (default 1; "
+        ">1 needs a streaming platform)\n"
+        "  --p2p-mbps X        per-device P2P link bandwidth "
+        "(default 4000)\n"
+        "  --partition NAME    hash|range|balanced graph partition "
+        "(default hash)\n"
         "  --channels N / --dies N   SSD geometry\n"
         "  --jobs N            parallel workers for the sweep\n"
         "  --csv FILE          append CSV rows to FILE\n"
@@ -140,6 +146,23 @@ main(int argc, char **argv)
         else if (a == "--slo-ms") slo_list = next();
         else if (a == "--nodes") nodes = static_cast<graph::NodeId>(
             std::strtoul(next(), nullptr, 10));
+        else if (a == "--devices") rc.topology.devices =
+            static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        else if (a == "--p2p-mbps") rc.topology.p2pMBps =
+            std::strtod(next(), nullptr);
+        else if (a == "--partition") {
+            std::string n = next();
+            auto p = platforms::findPartitionPolicy(n);
+            if (!p) {
+                std::fprintf(stderr,
+                             "bgnserve: unknown partition '%s' "
+                             "(valid: %s)\n",
+                             n.c_str(),
+                             platforms::partitionPolicyList().c_str());
+                return 2;
+            }
+            rc.topology.partition = *p;
+        }
         else if (a == "--channels") rc.system.flash.channels =
             static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
         else if (a == "--dies") rc.system.flash.diesPerChannel =
@@ -199,6 +222,22 @@ main(int argc, char **argv)
     }
     if (kinds.empty() || specs.empty() || rates.empty())
         usage(argv[0]);
+    if (rc.topology.devices == 0) {
+        std::fprintf(stderr, "bgnserve: --devices must be >= 1\n");
+        return 2;
+    }
+    if (rc.topology.multi()) {
+        for (platforms::PlatformKind k : kinds) {
+            auto p = platforms::makePlatform(k);
+            if (!p.flags.directGraph) {
+                std::fprintf(stderr,
+                             "bgnserve: --devices %u needs a streaming "
+                             "(DirectGraph) platform; '%s' is not\n",
+                             rc.topology.devices, p.name.c_str());
+                return 2;
+            }
+        }
+    }
     if (!slo_list.empty()) {
         auto parts = splitList(slo_list);
         if (parts.size() != kQosClasses) {
@@ -287,6 +326,15 @@ main(int argc, char **argv)
                 curve.push_back(res);
             }
             printSaturation(curve);
+            if (first->devices > 1) {
+                const ServeResult &last = curve.back();
+                std::printf("  array: %u devices, command share",
+                            last.devices);
+                for (std::size_t d = 0; d < last.perDevice.size(); ++d)
+                    std::printf(" dev%zu %.2f", d, last.deviceShare(d));
+                std::printf(", cross-device %.1f%%\n",
+                            100.0 * last.crossFraction);
+            }
         }
     }
     if (csv.is_open())

@@ -21,6 +21,7 @@
  * writes a Chrome-trace-format event file loadable in Perfetto.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -63,6 +64,12 @@ usage(const char *argv0)
         "  --dedupe            batch-level node deduplication\n"
         "  --no-coalesce       disable secondary coalescing\n"
         "  --seed N            target-selection seed\n"
+        "  --devices N         SSDs in a scale-out array (default 1; "
+        ">1 needs a streaming platform)\n"
+        "  --p2p-mbps X        per-device P2P link bandwidth "
+        "(default 4000)\n"
+        "  --partition NAME    hash|range|balanced graph partition "
+        "(default hash)\n"
         "  --trace-util        collect utilization series\n"
         "  --csv FILE          append a CSV result row to FILE\n"
         "  --metrics FILE      dump every instrument as JSON\n"
@@ -140,6 +147,22 @@ main(int argc, char **argv)
         else if (a == "--no-coalesce") no_coalesce = true;
         else if (a == "--seed") rc.targetSeed =
             std::strtoull(next(), nullptr, 10);
+        else if (a == "--devices") rc.topology.devices =
+            static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        else if (a == "--p2p-mbps") rc.topology.p2pMBps =
+            std::strtod(next(), nullptr);
+        else if (a == "--partition") {
+            std::string n = next();
+            auto p = findPartitionPolicy(n);
+            if (!p) {
+                std::fprintf(stderr,
+                             "bgnsim: unknown partition '%s' "
+                             "(valid: %s)\n",
+                             n.c_str(), partitionPolicyList().c_str());
+                return 2;
+            }
+            rc.topology.partition = *p;
+        }
         else if (a == "--jobs") {
             long v = std::strtol(next(), nullptr, 10);
             if (v >= 1)
@@ -180,6 +203,22 @@ main(int argc, char **argv)
     }
     if (kinds.empty() || workloads.empty())
         usage(argv[0]);
+    if (rc.topology.devices == 0) {
+        std::fprintf(stderr, "bgnsim: --devices must be >= 1\n");
+        return 2;
+    }
+    if (rc.topology.multi()) {
+        for (PlatformKind k : kinds) {
+            auto p = makePlatform(k);
+            if (!p.flags.directGraph) {
+                std::fprintf(stderr,
+                             "bgnsim: --devices %u needs a streaming "
+                             "(DirectGraph) platform; '%s' is not\n",
+                             rc.topology.devices, p.name.c_str());
+                return 2;
+            }
+        }
+    }
 
     auto configured = [&](PlatformKind kind) {
         auto p = makePlatform(kind);
@@ -255,6 +294,20 @@ main(int argc, char **argv)
                     r.cmdStats.waitBefore.mean(),
                     r.cmdStats.flashTime.mean(),
                     r.cmdStats.waitAfter.mean());
+        if (r.devices > 1) {
+            std::uint64_t lo = ~0ull, hi = 0;
+            for (const auto &d : r.perDevice) {
+                lo = std::min(lo, d.commands);
+                hi = std::max(hi, d.commands);
+            }
+            std::printf("  array: %u devices (%s) | cross-device "
+                        "%.1f%% | per-device commands %llu..%llu\n",
+                        r.devices,
+                        partitionPolicyName(rc.topology.partition),
+                        100.0 * r.crossFraction,
+                        static_cast<unsigned long long>(lo),
+                        static_cast<unsigned long long>(hi));
+        }
     }
 
     if (!csv_path.empty()) {
