@@ -37,23 +37,63 @@ main(int argc, char **argv)
         platforms::PartitionPolicy::Balanced};
     const std::size_t np = policies.size();
 
-    auto results = parallelMap<platforms::ArrayRunResult>(
+    // Each cell records its own wall-clock alongside the result, so
+    // results/bench_timing.json carries a per-cell breakdown (the
+    // grid runs concurrently; per-cell seconds are real time inside
+    // one cell, not a share of the grid wall-clock).
+    struct Cell
+    {
+        platforms::ArrayRunResult res;
+        double seconds = 0.0;
+    };
+    auto results = parallelMap<Cell>(
         device_counts.size() * np, [&](std::size_t i) {
+            Stopwatch cell_sw;
             platforms::ArrayConfig acfg;
             acfg.devices = device_counts[i / np];
             acfg.partition = policies[i % np];
-            return platforms::runArray(acfg, rc, b);
+            Cell c;
+            c.res = platforms::runArray(acfg, rc, b);
+            c.seconds = cell_sw.seconds();
+            return c;
         });
     timing.section("grid", sw.seconds());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        timing.section("cell_dev" +
+                           std::to_string(device_counts[i / np]) + "_" +
+                           platforms::partitionPolicyName(
+                               policies[i % np]),
+                       results[i].seconds);
+    }
+
+    // Intra-run parallelism: the 8-device cell again, first with the
+    // device queues serialized and then on the configured worker
+    // count — the bench_timing.json pair quantifies the conservative
+    // parallel simulator's wall-clock gain on this host.
+    {
+        platforms::ArrayConfig acfg;
+        acfg.devices = 8;
+        acfg.partition = platforms::PartitionPolicy::Hash;
+        const unsigned saved = sim::SimExecutor::defaultJobs();
+        sim::SimExecutor::setDefaultJobs(1);
+        Stopwatch j1;
+        platforms::runArray(acfg, rc, b);
+        timing.section("dev8_jobs1", j1.seconds());
+        sim::SimExecutor::setDefaultJobs(saved);
+        Stopwatch jn;
+        platforms::runArray(acfg, rc, b);
+        timing.section("dev8_jobs" + std::to_string(saved),
+                       jn.seconds());
+    }
 
     for (std::size_t p = 0; p < np; ++p) {
         std::printf("\npartition: %s\n",
                     platforms::partitionPolicyName(policies[p]));
         std::printf("%8s %14s %10s %14s %12s\n", "devices",
                     "targets/s", "speedup", "cross-device", "p2p-frac");
-        double base = results[p].throughput; // devices = 1, policy p.
+        double base = results[p].res.throughput; // devices=1, policy p.
         for (std::size_t d = 0; d < device_counts.size(); ++d) {
-            const auto &r = results[d * np + p];
+            const auto &r = results[d * np + p].res;
             std::printf("%8u %14.0f %9.2fx %14llu %11.1f%%\n",
                         device_counts[d], r.throughput,
                         r.throughput / base,
@@ -67,7 +107,7 @@ main(int argc, char **argv)
     csv << "devices,partition,throughput,commands,cross_device,"
            "cross_fraction,min_dev_commands,max_dev_commands\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
-        const auto &r = results[i];
+        const auto &r = results[i].res;
         std::uint64_t lo = r.commands, hi = 0;
         for (std::uint64_t c : r.perDeviceCommands) {
             lo = std::min(lo, c);

@@ -24,6 +24,10 @@ namespace beacongnn::ssd {
 class Firmware;
 } // namespace beacongnn::ssd
 
+namespace beacongnn::sim {
+class EventQueue;
+} // namespace beacongnn::sim
+
 namespace beacongnn::engines {
 
 class CommandRouter;
@@ -40,6 +44,12 @@ struct DevicePort
     DieSampler *sampler = nullptr;
     /** Outbound P2P port (null on a single device). */
     sim::BandwidthResource *p2pOut = nullptr;
+    /** This device's own event queue / local clock (multi-device
+     *  runs; null on the single-device convenience path, which uses
+     *  the engine's shared queue). Cross-device work must reach a
+     *  foreign device's queue through the mailbox, never by direct
+     *  scheduling (DESIGN.md §13, bgnlint BGN006). */
+    sim::EventQueue *queue = nullptr;
     /** Chrome-trace pid base of this device's tracks. */
     std::uint32_t tracePidBase = 0;
 };

@@ -106,6 +106,32 @@ namespace {
 /** Slot value used in command metadata for "no parent" (targets). */
 constexpr std::uint32_t kRootSlot = gnn::kNoParent;
 
+// On an array, a command's parentSlot crosses the fabric, so it must
+// name a subgraph entry globally: (device << 24) | lane-local index.
+// Device 0's packing is the identity, kRootSlot (all ones) is never a
+// legal packed value (the lane-local space stops one short), and the
+// constructor rejects topologies beyond 8 device bits.
+constexpr unsigned kSlotBits = 24;
+constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+
+std::uint32_t
+packSlot(unsigned dev, std::uint32_t local)
+{
+    return (static_cast<std::uint32_t>(dev) << kSlotBits) | local;
+}
+
+unsigned
+packedDev(std::uint32_t slot)
+{
+    return slot >> kSlotBits;
+}
+
+std::uint32_t
+packedLocal(std::uint32_t slot)
+{
+    return slot & kSlotMask;
+}
+
 } // namespace
 
 /** Per-mini-batch in-flight state. */
@@ -119,6 +145,36 @@ struct GnnEngine::Batch
     // Streaming mode: commands in flight.
     std::uint64_t outstanding = 0;
     sim::Tick finishMax = 0;
+
+    /**
+     * Multi-device runs: all mutable per-batch state a device touches
+     * while its queue runs on a worker thread. One lane per device;
+     * completePrepared() merges them into `res` in device order, so
+     * the merged result is a pure function of the lane contents —
+     * independent of the worker count.
+     */
+    struct Lane
+    {
+        CmdStats cmdStats;
+        PrepTally tally;
+        std::vector<HopSpan> hops;
+        std::uint64_t commands = 0;
+        std::uint64_t dedupedReads = 0;
+        std::uint64_t crossDevice = 0;
+        bool ok = true;
+        sim::Tick finishMax = 0;
+        /** This device's subgraph fragment (parents packed). */
+        struct Entry
+        {
+            graph::NodeId node;
+            std::uint8_t hop;
+            gnn::Slot parent;
+        };
+        std::vector<Entry> frag;
+    };
+    std::vector<Lane> lanes;
+    /** Host-side submit-complete time (multi mode finish floor). */
+    sim::Tick readyAt = 0;
 
     // Streaming dedup: nodes whose primary section this batch
     // already fetched (maps to the time its data became available).
@@ -134,6 +190,17 @@ struct GnnEngine::Batch
     std::vector<Visit> nextVisits;
     std::uint64_t hopOutstanding = 0;
     sim::Tick hopLast = 0;
+};
+
+/** One cross-device command in flight through the mailbox. */
+struct GnnEngine::CrossMsg
+{
+    sim::Tick when = 0;        ///< Arrival at the destination device.
+    unsigned srcDev = 0;       ///< Posting device (sort tie-break).
+    std::uint64_t srcSeq = 0;  ///< Posting order within srcDev.
+    std::shared_ptr<Batch> batch;
+    flash::GnnSampleParams params;
+    unsigned entryChannel = 0; ///< Crossbar entry at the destination.
 };
 
 GnnEngine::GnnEngine(sim::EventQueue &queue_, std::vector<DevicePort> ports_,
@@ -159,11 +226,20 @@ GnnEngine::GnnEngine(sim::EventQueue &queue_, std::vector<DevicePort> ports_,
         if (!_flags.directGraph)
             sim::fatal("GnnEngine: multi-device arrays require a "
                        "streaming (DirectGraph) platform");
-        for (const DevicePort &p : ports)
+        if (ports.size() > (1u << (32 - kSlotBits)))
+            sim::fatal("GnnEngine: too many devices for packed "
+                       "subgraph slots");
+        for (const DevicePort &p : ports) {
             if (!p.p2pOut)
                 sim::fatal("GnnEngine: array port without a P2P link");
+            if (!p.queue)
+                sim::fatal("GnnEngine: array port without a device "
+                           "event queue");
+        }
         if (!fabric.owner || fabric.owner->size() < g.numNodes())
             sim::fatal("GnnEngine: array without an ownership table");
+        mailbox = std::make_unique<sim::Mailbox<CrossMsg>>(ports.size());
+        p2pSeq.assign(ports.size(), 0);
     }
 }
 
@@ -186,10 +262,27 @@ GnnEngine::GnnEngine(sim::EventQueue &queue_,
                             firmware.config().engine, backend.config())
                       : nullptr),
       ports{DevicePort{&backend, &firmware, ownedRouter.get(),
-                       ownedSampler.get(), nullptr, 0}},
+                       ownedSampler.get(), nullptr, nullptr, 0}},
       layout(layout_), g(graph_), model(model_), _flags(flags),
       source(source_)
 {
+    ports[0].queue = &queue;
+}
+
+GnnEngine::~GnnEngine() = default;
+
+sim::EventQueue &
+GnnEngine::homeQueue(unsigned dev)
+{
+    return multiDevice() ? *ports[dev].queue : queue;
+}
+
+sim::TraceSink *
+GnnEngine::laneTrace(unsigned dev)
+{
+    if (!multiDevice())
+        return trace;
+    return laneShards.empty() ? nullptr : laneShards[dev].get();
 }
 
 unsigned
@@ -245,6 +338,18 @@ GnnEngine::prepare(sim::Tick start, std::uint64_t batch_id,
         b->nextVisits.push_back({t, kRootSlot});
 
     if (_flags.directGraph) {
+        if (multiDevice()) {
+            // Array: per-device lanes, run by the conservative
+            // parallel driver. The batch completes via
+            // completePrepared() after the driver quiesces.
+            b->readyAt = ready;
+            b->lanes.resize(ports.size());
+            for (Batch::Lane &l : b->lanes)
+                l.hops.resize(model.hops + 1u);
+            inFlight.push_back(b);
+            seedMulti(b, ready);
+            return;
+        }
         queue.scheduleAt(ready, [this, b] { startStreaming(b); });
     } else {
         queue.scheduleAt(ready, [this, b] { startBarrier(b); });
@@ -252,9 +357,158 @@ GnnEngine::prepare(sim::Tick start, std::uint64_t batch_id,
 }
 
 void
+GnnEngine::seedMulti(const std::shared_ptr<Batch> &b, sim::Tick ready)
+{
+    auto visits = std::move(b->nextVisits);
+    b->nextVisits.clear();
+    // The host links to every array member: each device's targets are
+    // injected at that device's frontend, preserving the submission
+    // order within a device.
+    std::vector<std::vector<Batch::Visit>> by_dev(ports.size());
+    for (const auto &v : visits)
+        by_dev[ownerOf(v.node)].push_back(v);
+    for (unsigned dev = 0; dev < ports.size(); ++dev) {
+        if (by_dev[dev].empty())
+            continue;
+        // Seeding the device's own queue before the driver starts —
+        // no station is running yet, so this direct schedule is safe.
+        // bgnlint:allow(BGN006)
+        ports[dev].queue->scheduleAt(
+            ready, [this, b, dev, mine = std::move(by_dev[dev])] {
+                sim::Tick now = homeQueue(dev).now();
+                for (const auto &v : mine) {
+                    flash::GnnSampleParams p = targetParams(*b, v.node);
+                    p.parentSlot = v.parent;
+                    streamCommand(
+                        b, p, now,
+                        ports[dev].backend->codec().channelOf(p.ppa),
+                        dev);
+                }
+            });
+    }
+}
+
+std::size_t
+GnnEngine::deliverInbound(unsigned dev)
+{
+    if (!mailbox)
+        return 0;
+    std::vector<CrossMsg> msgs = mailbox->drain(dev);
+    if (msgs.empty())
+        return 0;
+    // (arrival, source device, source sequence) is a total order over
+    // the message set itself — the posting interleave (which depends
+    // on worker scheduling) cannot influence the delivery order.
+    std::sort(msgs.begin(), msgs.end(),
+              [](const CrossMsg &a, const CrossMsg &x) {
+                  if (a.when != x.when)
+                      return a.when < x.when;
+                  if (a.srcDev != x.srcDev)
+                      return a.srcDev < x.srcDev;
+                  return a.srcSeq < x.srcSeq;
+              });
+    std::vector<sim::EventQueue::TimedEvent> batch;
+    batch.reserve(msgs.size());
+    for (CrossMsg &m : msgs) {
+        batch.push_back(
+            {m.when, [this, b = std::move(m.batch), child = m.params,
+                      entry = m.entryChannel, dev] {
+                 streamCommand(b, child, homeQueue(dev).now(), entry,
+                               dev);
+             }});
+    }
+    // Delivering onto this station's *own* queue at a window boundary
+    // is the one sanctioned non-mailbox schedule.
+    // bgnlint:allow(BGN006)
+    ports[dev].queue->bulkScheduleAt(std::move(batch));
+    return msgs.size();
+}
+
+void
+GnnEngine::completePrepared()
+{
+    for (const std::shared_ptr<Batch> &b : inFlight) {
+        mergeLanes(*b);
+        b->res.routerStats = routerTotals();
+        sim::Tick finish = b->readyAt;
+        for (const Batch::Lane &l : b->lanes)
+            finish = std::max(finish, l.finishMax);
+        b->finished = true;
+        b->res.finish = finish;
+        if (trace) {
+            trace->complete("batch", "batch", flash::kTraceEnginePid,
+                            static_cast<std::uint32_t>(b->id),
+                            b->res.start, finish);
+        }
+        if (b->done)
+            b->done(std::move(b->res));
+    }
+    inFlight.clear();
+}
+
+void
+GnnEngine::mergeLanes(Batch &b)
+{
+    const std::size_t ndev = b.lanes.size();
+    unsigned max_hop = 0;
+    for (std::size_t d = 0; d < ndev; ++d) {
+        const Batch::Lane &l = b.lanes[d];
+        b.res.cmdStats.merge(l.cmdStats);
+        b.res.tally.merge(l.tally);
+        b.res.commands += l.commands;
+        b.res.dedupedReads += l.dedupedReads;
+        b.res.crossDevice += l.crossDevice;
+        if (!l.ok)
+            b.res.ok = false;
+        for (std::size_t h = 0;
+             h < b.res.hops.size() && h < l.hops.size(); ++h)
+            b.res.hops[h].cover(l.hops[h].first, l.hops[h].last);
+        for (const Batch::Lane::Entry &e : l.frag)
+            max_hop = std::max<unsigned>(max_hop, e.hop);
+    }
+    // Subgraph merge in hop-major (hop, device, lane order): a child's
+    // parent always sits at a strictly lower hop, so its global slot
+    // exists before the child is added — and the order is a pure
+    // function of the per-device fragments, hence worker-invariant.
+    std::vector<std::vector<gnn::Slot>> global_of(ndev);
+    for (std::size_t d = 0; d < ndev; ++d)
+        global_of[d].assign(b.lanes[d].frag.size(), gnn::kNoParent);
+    for (unsigned hop = 0; hop <= max_hop; ++hop) {
+        for (std::size_t d = 0; d < ndev; ++d) {
+            const Batch::Lane &l = b.lanes[d];
+            for (std::size_t i = 0; i < l.frag.size(); ++i) {
+                const Batch::Lane::Entry &e = l.frag[i];
+                if (e.hop != hop)
+                    continue;
+                gnn::Slot parent = gnn::kNoParent;
+                if (e.parent != gnn::kNoParent) {
+                    unsigned pd = packedDev(e.parent);
+                    std::uint32_t pl = packedLocal(e.parent);
+                    if (pd >= ndev || pl >= global_of[pd].size() ||
+                        global_of[pd][pl] == gnn::kNoParent)
+                        sim::fatal("GnnEngine: dangling parent slot "
+                                   "in lane merge");
+                    parent = global_of[pd][pl];
+                }
+                global_of[d][i] =
+                    b.res.subgraph.add(e.node, e.hop, parent);
+            }
+        }
+    }
+}
+
+void
 GnnEngine::setTraceSink(sim::TraceSink *sink)
 {
     trace = sink;
+    laneShards.clear();
+    if (trace && multiDevice()) {
+        // Worker threads must never share a sink: each device records
+        // into its own shard, absorbed in device order afterwards.
+        laneShards.resize(ports.size());
+        for (auto &s : laneShards)
+            s = std::make_unique<sim::TraceSink>();
+    }
     if (trace) {
         trace->setProcessName(flash::kTraceEnginePid, "engine");
         for (std::size_t d = 0; d < ports.size(); ++d) {
@@ -265,6 +519,19 @@ GnnEngine::setTraceSink(sim::TraceSink *sink)
             trace->setProcessName(
                 ports[d].tracePidBase + flash::kTraceDramPid, name);
         }
+    }
+}
+
+void
+GnnEngine::flushTraceShards()
+{
+    if (!trace)
+        return;
+    for (auto &s : laneShards) {
+        if (!s)
+            continue;
+        trace->absorb(*s);
+        s = std::make_unique<sim::TraceSink>();
     }
 }
 
@@ -324,6 +591,27 @@ GnnEngine::broadcastConfig(sim::Tick start)
 // Streaming (DirectGraph) pipeline: BG-DG, BG-DGSP, BG-2.
 // ====================================================================
 
+flash::GnnSampleParams
+GnnEngine::targetParams(const Batch &b, graph::NodeId node) const
+{
+    flash::GnnSampleParams p;
+    dg::DgAddress a = layout.primaryOf(node);
+    p.ppa = a.page();
+    p.sectionIndex = static_cast<std::uint8_t>(a.section());
+    p.hop = 0;
+    p.batchId = static_cast<std::uint32_t>(b.id);
+    p.parentSlot = kRootSlot;
+    p.retrieveFeature = true;
+    if (model.hops == 0) {
+        p.finalHop = true;
+        p.sampleCount = 0;
+    } else {
+        p.sampleCount = model.fanout;
+    }
+    p.nodeHint = node;
+    return p;
+}
+
 void
 GnnEngine::startStreaming(std::shared_ptr<Batch> b)
 {
@@ -332,28 +620,12 @@ GnnEngine::startStreaming(std::shared_ptr<Batch> b)
     b->nextVisits.clear();
     b->outstanding += visits.size();
     for (const auto &v : visits) {
-        flash::GnnSampleParams p;
-        dg::DgAddress a = layout.primaryOf(v.node);
-        p.ppa = a.page();
-        p.sectionIndex = static_cast<std::uint8_t>(a.section());
-        p.hop = 0;
-        p.batchId = static_cast<std::uint32_t>(b->id);
-        p.parentSlot = v.parent;
-        p.retrieveFeature = true;
-        if (model.hops == 0) {
-            p.finalHop = true;
-            p.sampleCount = 0;
-        } else {
-            p.sampleCount = model.fanout;
-        }
-        p.nodeHint = v.node;
         // Targets are injected by the host interface at the frontend
-        // controller of the device that owns them (the host links to
-        // every array member); their first hop is always a crossbar
-        // traversal.
-        unsigned dev = ports.size() > 1 ? ownerOf(v.node) : 0;
+        // controller; their first hop is always a crossbar traversal.
+        flash::GnnSampleParams p = targetParams(*b, v.node);
+        p.parentSlot = v.parent;
         streamCommand(b, p, now,
-                      ports[dev].backend->codec().channelOf(p.ppa), dev);
+                      ports[0].backend->codec().channelOf(p.ppa), 0);
     }
     if (visits.empty())
         finishBatch(b, now);
@@ -372,6 +644,32 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
     const auto &flash_cfg = backend.config();
     sim::Tick created = ready;
 
+    // Multi-device runs write all mutable batch state into this
+    // device's lane (merged in device order afterwards); the
+    // single-device path keeps writing the result directly — the
+    // historical byte-exact behaviour.
+    const bool multi = multiDevice();
+    Batch::Lane *lane = multi ? &b->lanes[dev] : nullptr;
+    CmdStats &cmd_stats = multi ? lane->cmdStats : b->res.cmdStats;
+    PrepTally &tally = multi ? lane->tally : b->res.tally;
+    std::vector<HopSpan> &hops = multi ? lane->hops : b->res.hops;
+    sim::Tick &finish_max = multi ? lane->finishMax : b->finishMax;
+    sim::TraceSink *tr = laneTrace(dev);
+    auto add_entry = [&](std::uint64_t node, std::uint8_t hop,
+                         gnn::Slot parent) -> gnn::Slot {
+        if (!multi) {
+            return b->res.subgraph.add(static_cast<graph::NodeId>(node),
+                                       hop, parent);
+        }
+        if (lane->frag.size() >= kSlotMask)
+            sim::fatal("GnnEngine: device subgraph fragment overflows "
+                       "the packed slot space");
+        lane->frag.push_back({static_cast<graph::NodeId>(node), hop,
+                              parent});
+        return packSlot(dev,
+                        static_cast<gnn::Slot>(lane->frag.size() - 1));
+    };
+
     // ---- Batch-level node deduplication (extension) -----------------
     // A primary section already fetched this batch is re-served from
     // SSD DRAM: the sampler logic still runs (different draws per
@@ -388,18 +686,21 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
             sim::Grant mem = fw.dram().acquire(
                 avail, result.frameBytes());
             sim::Tick parsed = mem.end;
-            ++b->res.dedupedReads;
+            if (multi)
+                ++lane->dedupedReads;
+            else
+                ++b->res.dedupedReads;
             if (result.featureIncluded) {
-                b->res.tally.featureBytes += result.featureBytes;
+                tally.featureBytes += result.featureBytes;
                 b->res.perDevice[dev].featureBytes += result.featureBytes;
             }
             gnn::Slot parent = params.parentSlot;
             if (result.ok) {
-                parent = b->res.subgraph.add(
-                    static_cast<graph::NodeId>(result.nodeId),
-                    params.hop, params.parentSlot);
+                parent = add_entry(result.nodeId, params.hop,
+                                   params.parentSlot);
             }
-            b->outstanding += result.follow.size();
+            if (!multi)
+                b->outstanding += result.follow.size();
             unsigned ch = backend.codec().channelOf(params.ppa);
             for (auto &f : result.follow) {
                 f.params.parentSlot = parent;
@@ -408,9 +709,9 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
             unsigned span = std::min<unsigned>(params.hop, model.hops);
             if (params.finalHop)
                 span = model.hops;
-            b->res.hops[span].cover(created, parsed);
-            b->finishMax = std::max(b->finishMax, parsed);
-            if (--b->outstanding == 0) {
+            hops[span].cover(created, parsed);
+            finish_max = std::max(finish_max, parsed);
+            if (!multi && --b->outstanding == 0) {
                 b->res.routerStats = routerTotals();
                 finishBatch(b, b->finishMax);
             }
@@ -421,11 +722,11 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
     // Nestable async lifetime span per command (Perfetto: one slice
     // with dispatch / sense / xfer / consume children).
     std::uint64_t span_id = 0;
-    if (trace) {
-        span_id = trace->nextId();
-        trace->beginAsync("cmd", "cmd", span_id, created);
-        trace->beginAsync(_flags.hwRouter ? "route" : "fw-issue", "cmd",
-                          span_id, created);
+    if (tr) {
+        span_id = tr->nextId();
+        tr->beginAsync("cmd", "cmd", span_id, created);
+        tr->beginAsync(_flags.hwRouter ? "route" : "fw-issue", "cmd",
+                       span_id, created);
     }
 
     // ---- Dispatch: hardware router vs firmware core ----------------
@@ -439,9 +740,9 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
     } else {
         dispatched = fw.coreIssue(ready).end;
     }
-    if (trace)
-        trace->endAsync(_flags.hwRouter ? "route" : "fw-issue", "cmd",
-                        span_id, dispatched);
+    if (tr)
+        tr->endAsync(_flags.hwRouter ? "route" : "fw-issue", "cmd",
+                     span_id, dispatched);
 
     // ---- Functional sampling ---------------------------------------
     dg::DgAddress addr(params.ppa, params.sectionIndex);
@@ -456,16 +757,16 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
     // ---- Flash operation --------------------------------------------
     flash::FlashOpTiming t =
         backend.read(dispatched, params.ppa, transfer_bytes, on_die);
-    ++b->res.tally.flashReads;
+    ++tally.flashReads;
     ++b->res.perDevice[dev].flashReads;
-    b->res.tally.channelBytes += transfer_bytes;
+    tally.channelBytes += transfer_bytes;
     if (_flags.hwRouter)
         router->bindCompletion(params.ppa, t.xferEnd);
-    if (trace) {
-        trace->beginAsync("sense", "cmd", span_id, t.senseStart);
-        trace->endAsync("sense", "cmd", span_id, t.senseEnd);
-        trace->beginAsync("xfer", "cmd", span_id, t.xferStart);
-        trace->endAsync("xfer", "cmd", span_id, t.xferEnd);
+    if (tr) {
+        tr->beginAsync("sense", "cmd", span_id, t.senseStart);
+        tr->endAsync("sense", "cmd", span_id, t.senseEnd);
+        tr->beginAsync("xfer", "cmd", span_id, t.xferStart);
+        tr->endAsync("xfer", "cmd", span_id, t.xferEnd);
     }
 
     // ---- Result consumption ------------------------------------------
@@ -480,80 +781,86 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
             // wall of Fig. 18d.
             sim::Grant mem =
                 fw.dram().acquire(parsed, result.featureBytes);
-            b->res.tally.dramBytes += result.featureBytes;
-            b->finishMax = std::max(b->finishMax, mem.end);
-            if (trace)
-                trace->complete("feature-dma", "dram",
-                                port.tracePidBase + flash::kTraceDramPid,
-                                0, parsed, mem.end);
+            tally.dramBytes += result.featureBytes;
+            finish_max = std::max(finish_max, mem.end);
+            if (tr)
+                tr->complete("feature-dma", "dram",
+                             port.tracePidBase + flash::kTraceDramPid,
+                             0, parsed, mem.end);
         }
     } else if (die_sampling) {
         // BG-DGSP: frames land in DRAM, a core parses each.
         sim::Grant mem = fw.dram().acquire(t.xferEnd, transfer_bytes);
-        b->res.tally.dramBytes += transfer_bytes;
+        tally.dramBytes += transfer_bytes;
         parsed = fw.coreComplete(mem.end).end;
     } else {
         // BG-DG: full page to DRAM, core parses and samples in
         // firmware (same two-level DirectGraph discipline).
         sim::Grant mem = fw.dram().acquire(t.xferEnd, transfer_bytes);
-        b->res.tally.dramBytes += transfer_bytes;
+        tally.dramBytes += transfer_bytes;
         parsed = fw.coreComplete(mem.end,
                                  fw.config().controller.coreSampleTime)
                      .end;
     }
-    if (trace) {
-        trace->beginAsync("consume", "cmd", span_id, t.xferEnd);
-        trace->endAsync("consume", "cmd", span_id, parsed);
-        trace->endAsync("cmd", "cmd", span_id, parsed);
+    if (tr) {
+        tr->beginAsync("consume", "cmd", span_id, t.xferEnd);
+        tr->endAsync("consume", "cmd", span_id, parsed);
+        tr->endAsync("cmd", "cmd", span_id, parsed);
     }
     if (result.featureIncluded) {
-        b->res.tally.featureBytes += result.featureBytes;
+        tally.featureBytes += result.featureBytes;
         b->res.perDevice[dev].featureBytes += result.featureBytes;
     }
     if (_flags.dedupeNodes && !params.isSecondary)
         b->fetched[dev].emplace(self_addr.raw, parsed);
 
     // ---- Bookkeeping ---------------------------------------------------
-    ++b->res.commands;
+    if (multi)
+        ++lane->commands;
+    else
+        ++b->res.commands;
     ++b->res.perDevice[dev].commands;
     sim::Tick wait_before = t.senseStart - created;
     sim::Tick flash_time =
         (t.senseEnd - t.senseStart) + (t.xferEnd - t.xferStart);
-    b->res.cmdStats.waitBefore.add(sim::toMicros(wait_before));
-    b->res.cmdStats.flashTime.add(sim::toMicros(flash_time));
-    b->res.cmdStats.waitAfter.add(
+    cmd_stats.waitBefore.add(sim::toMicros(wait_before));
+    cmd_stats.flashTime.add(sim::toMicros(flash_time));
+    cmd_stats.waitAfter.add(
         sim::toMicros(parsed - created - wait_before - flash_time));
-    b->res.cmdStats.lifetime.add(sim::toMicros(parsed - created));
-    b->res.cmdStats.lifetimeHist.add(sim::toMicros(parsed - created));
+    cmd_stats.lifetime.add(sim::toMicros(parsed - created));
+    cmd_stats.lifetimeHist.add(sim::toMicros(parsed - created));
     unsigned span = std::min<unsigned>(params.hop, model.hops);
     if (params.finalHop)
         span = model.hops;
-    b->res.hops[span].cover(created, parsed);
+    hops[span].cover(created, parsed);
 
     if (!result.ok) {
-        ++b->res.tally.abortedCommands;
-        b->res.ok = false;
+        ++tally.abortedCommands;
+        if (multi)
+            lane->ok = false;
+        else
+            b->res.ok = false;
     }
 
     // ---- Subgraph + children ------------------------------------------
     gnn::Slot parent_for_children;
     if (!params.isSecondary && result.ok) {
-        parent_for_children = b->res.subgraph.add(
-            static_cast<graph::NodeId>(result.nodeId), params.hop,
-            params.parentSlot);
+        parent_for_children =
+            add_entry(result.nodeId, params.hop, params.parentSlot);
     } else {
         parent_for_children = params.parentSlot;
     }
 
-    b->outstanding += result.follow.size();
+    if (!multi)
+        b->outstanding += result.follow.size();
     unsigned this_channel = backend.codec().channelOf(params.ppa);
     for (auto &f : result.follow) {
         f.params.parentSlot = parent_for_children;
         scheduleChild(b, f.params, parsed, this_channel, dev);
     }
 
-    b->finishMax = std::max(b->finishMax, parsed);
-    if (--b->outstanding == 0) {
+    finish_max = std::max(finish_max, parsed);
+    if (!multi && --b->outstanding == 0) {
         b->res.routerStats = routerTotals();
         finishBatch(b, b->finishMax);
     }
@@ -573,25 +880,31 @@ GnnEngine::scheduleChild(const std::shared_ptr<Batch> &b,
             child_dev = ownerOf(sp->node);
     }
     if (child_dev == dev) {
-        queue.scheduleAt(parsed, [this, b, child, this_channel, dev] {
-            streamCommand(b, child, queue.now(), this_channel, dev);
-        });
+        // Same-device follow-up: the device schedules onto its own
+        // local clock (the engine's shared queue on a single device).
+        homeQueue(dev).scheduleAt(
+            parsed, [this, b, child, this_channel, dev] {
+                streamCommand(b, child, homeQueue(dev).now(),
+                              this_channel, dev);
+            });
         return;
     }
     // Cross-device hop (§VIII): the command descriptor crosses the
     // source device's P2P port, then enters the owner's crossbar at
-    // the child's channel like a host-injected target.
+    // the child's channel like a host-injected target. The arrival is
+    // at least one fabric lookahead away, so it is posted as a
+    // mailbox message — never scheduled onto the foreign queue, which
+    // may be mid-window on another worker thread (DESIGN.md §13).
     sim::Grant link =
         ports[dev].p2pOut->acquire(parsed, fabric.commandBytes);
     sim::Tick arrive = link.end + fabric.p2pLatency;
-    ++b->res.crossDevice;
+    ++b->lanes[dev].crossDevice;
     ++b->res.perDevice[dev].p2pForwards;
     b->res.perDevice[dev].p2pBytes += fabric.commandBytes;
     unsigned entry =
         ports[child_dev].backend->codec().channelOf(child.ppa);
-    queue.scheduleAt(arrive, [this, b, child, entry, child_dev] {
-        streamCommand(b, child, queue.now(), entry, child_dev);
-    });
+    mailbox->post(child_dev, CrossMsg{arrive, dev, p2pSeq[dev]++, b,
+                                      child, entry});
 }
 // ====================================================================
 // Hop-by-hop (barrier) pipeline: CC, GLIST, SmartSage, BG-1, BG-SP.

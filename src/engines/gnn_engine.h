@@ -31,6 +31,7 @@
 #include "gnn/sampler.h"
 #include "gnn/subgraph.h"
 #include "sim/event_queue.h"
+#include "sim/mailbox.h"
 #include "sim/stats.h"
 #include "ssd/firmware.h"
 
@@ -170,6 +171,18 @@ struct PrepResult
  * P2P port as a small descriptor before continuing remotely. With a
  * single port the fabric degenerates and the behaviour is exactly the
  * historical single-SSD pipeline.
+ *
+ * Multi-device execution model (DESIGN.md §13): every port carries its
+ * own EventQueue (the device's local clock) and the engine keeps all
+ * per-batch mutable state in per-device *lanes*, so a conservative
+ * parallel driver (sim::ParallelSimulator) may run the device queues
+ * on concurrent worker threads. Cross-device children never touch a
+ * foreign queue directly — they become timestamped messages in a
+ * mutex-sharded mailbox, delivered by deliverInbound() at window
+ * boundaries in a deterministically sorted order. After the driver
+ * reaches quiescence, completePrepared() merges the lanes in fixed
+ * device order, which makes the results byte-identical for every
+ * worker count.
  */
 class GnnEngine
 {
@@ -204,6 +217,8 @@ class GnnEngine
               const graph::Graph &g, const gnn::ModelConfig &model,
               const PrepFlags &flags, const dg::SectionSource &source);
 
+    ~GnnEngine();
+
     /**
      * Prepare one mini-batch. Schedules events on the queue; @p done
      * fires (at the finish time) with the result. Run the queue to
@@ -212,6 +227,33 @@ class GnnEngine
     void prepare(sim::Tick start, std::uint64_t batch_id,
                  std::span<const graph::NodeId> targets,
                  std::function<void(PrepResult &&)> done);
+
+    /**
+     * Conservative-driver drain hook for device @p dev (multi-device
+     * runs): take the device's pending cross-device messages out of
+     * the mailbox, sort them by (arrival, source device, source
+     * sequence) — a pure function of the message set, independent of
+     * posting interleave — and bulk-schedule them onto the device's
+     * own queue. Called by the driver between windows, when no
+     * station is running. @return messages delivered.
+     */
+    std::size_t deliverInbound(unsigned dev);
+
+    /**
+     * Finish every in-flight multi-device batch after the parallel
+     * driver reached quiescence: merge the per-device lanes (fixed
+     * device order), stamp the finish time and invoke the done
+     * callbacks. The runner calls this right after
+     * sim::ParallelSimulator::run().
+     */
+    void completePrepared();
+
+    /**
+     * Absorb the per-device trace shards into the attached sink in
+     * device order (multi-device runs; no-op otherwise). Call once
+     * after the last batch, before writing the trace.
+     */
+    void flushTraceShards();
 
     const PrepFlags &flags() const { return _flags; }
 
@@ -235,6 +277,31 @@ class GnnEngine
 
   private:
     struct Batch;
+    /** One cross-device command in flight through the mailbox. */
+    struct CrossMsg;
+
+    /** More than one device port? (Implies DirectGraph streaming.) */
+    bool multiDevice() const { return ports.size() > 1; }
+
+    /** Device @p dev's event queue: its own port queue on an array,
+     *  the engine's shared queue on the single-device path. */
+    sim::EventQueue &homeQueue(unsigned dev);
+
+    /** Trace sink device @p dev's events go to: its private shard on
+     *  an array (worker threads must never share a sink), the real
+     *  sink otherwise. */
+    sim::TraceSink *laneTrace(unsigned dev);
+
+    /** Seed a multi-device batch: group the targets by owning device
+     *  and schedule one injection event per device at @p ready. */
+    void seedMulti(const std::shared_ptr<Batch> &b, sim::Tick ready);
+
+    /** Merge a finished batch's per-device lanes into its result. */
+    void mergeLanes(Batch &b);
+
+    /** The first-hop command of target @p node (parentSlot unset). */
+    flash::GnnSampleParams targetParams(const Batch &b,
+                                        graph::NodeId node) const;
 
     /**
      * Broadcast the global GNN configuration command (§VI-C) to every
@@ -281,10 +348,20 @@ class GnnEngine
     PrepFlags _flags;
     const dg::SectionSource &source;
     FabricConfig fabric;
+    /** Cross-device command mailbox (multi-device; else null). */
+    std::unique_ptr<sim::Mailbox<CrossMsg>> mailbox;
+    /** Per-source-device message sequence numbers: the deterministic
+     *  tie-break of the mailbox sort. Each entry is touched only by
+     *  its own device's worker thread. */
+    std::vector<std::uint64_t> p2pSeq;
+    /** Multi-device batches awaiting completePrepared(). */
+    std::vector<std::shared_ptr<Batch>> inFlight;
     /** Completion time of the one-time GNN config broadcast. */
     sim::Tick configDone = 0;
     /** Opt-in command-lifetime trace (not owned). */
     sim::TraceSink *trace = nullptr;
+    /** Per-device trace shards (multi-device runs with a sink). */
+    std::vector<std::unique_ptr<sim::TraceSink>> laneShards;
 };
 
 } // namespace beacongnn::engines

@@ -48,6 +48,7 @@ DeviceContext::port()
     p.router = _router.get();
     p.sampler = &_sampler;
     p.p2pOut = _p2p.get();
+    p.queue = &_queue;
     p.tracePidBase = tracePidBase();
     return p;
 }

@@ -18,6 +18,7 @@
 #include "engines/gnn_engine.h"
 #include "platforms/platform.h"
 #include "platforms/topology.h"
+#include "sim/event_queue.h"
 
 namespace beacongnn::sim {
 class MetricRegistry;
@@ -58,6 +59,16 @@ class DeviceContext
     /** Engine-facing view of this device's hardware. */
     engines::DevicePort port();
 
+    /**
+     * This device's own event queue and local clock. Since PR 6 every
+     * device of the topology advances on its own queue under the
+     * conservative parallel simulator; a single-device run simply
+     * runs this one queue to completion, which is the historical
+     * sequential simulator.
+     */
+    sim::EventQueue &queue() { return _queue; }
+    const sim::EventQueue &queue() const { return _queue; }
+
     flash::FlashBackend &backend() { return _backend; }
     const flash::FlashBackend &backend() const { return _backend; }
     ssd::Firmware &firmware() { return _fw; }
@@ -88,6 +99,8 @@ class DeviceContext
 
   private:
     unsigned _index;
+    /** Local clock: all of this device's events run here. */
+    sim::EventQueue _queue;
     flash::FlashBackend _backend;
     ssd::Firmware _fw;
     engines::DieSampler _sampler;

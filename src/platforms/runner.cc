@@ -8,7 +8,9 @@
 #include "platforms/partition.h"
 #include "sim/event_queue.h"
 #include "sim/log.h"
+#include "sim/parallel_sim.h"
 #include "sim/rng.h"
+#include "sim/trace_events.h"
 #include "ssd/firmware.h"
 
 namespace beacongnn::platforms {
@@ -56,12 +58,20 @@ struct PlatformSession::Impl
     RunConfig run;
     const WorkloadBundle &bundle;
 
-    sim::EventQueue queue;
     /** Node ownership map (degenerate for a single device). */
     Partition partition;
-    /** The SSDs of the topology (one for a plain run). */
+    /** The SSDs of the topology (one for a plain run); each owns its
+     *  event queue (its local clock, DESIGN.md §13). */
     std::vector<std::unique_ptr<DeviceContext>> devices;
     std::unique_ptr<engines::GnnEngine> engine;
+    /** Conservative parallel driver over the device queues (multi-
+     *  device only; a single device runs its queue directly). */
+    std::unique_ptr<sim::ParallelSimulator> psim;
+    /** Per-device backend trace shards (multi-device runs with a
+     *  sink): worker threads never share a sink; finish() absorbs the
+     *  shards in device order, so the final trace is byte-identical
+     *  for every worker count. */
+    std::vector<std::unique_ptr<sim::TraceSink>> backendShards;
 
     RunResult res;
     sim::MetricRegistry reg;
@@ -102,12 +112,33 @@ struct PlatformSession::Impl
         fabric.owner =
             partition.table().empty() ? nullptr : &partition.table();
         engine = std::make_unique<engines::GnnEngine>(
-            queue, std::move(ports), b.layout, b.graph, b.model,
-            p.flags, *b.source, fabric);
+            devices[0]->queue(), std::move(ports), b.layout, b.graph,
+            b.model, p.flags, *b.source, fabric);
+
+        if (topo.multi()) {
+            std::vector<sim::SimStation> stations;
+            stations.reserve(devices.size());
+            for (unsigned d = 0; d < topo.devices; ++d) {
+                stations.push_back(sim::SimStation{
+                    &devices[d]->queue(),
+                    [eng = engine.get(), d] {
+                        return eng->deliverInbound(d);
+                    }});
+            }
+            psim = std::make_unique<sim::ParallelSimulator>(
+                std::move(stations), topo.lookahead());
+        }
 
         if (r.traceSink) {
-            for (auto &dev : devices)
-                dev->setTraceSink(r.traceSink, topo.multi());
+            for (auto &dev : devices) {
+                if (topo.multi()) {
+                    backendShards.push_back(
+                        std::make_unique<sim::TraceSink>());
+                    dev->setTraceSink(backendShards.back().get(), true);
+                } else {
+                    dev->setTraceSink(r.traceSink, false);
+                }
+            }
             engine->setTraceSink(r.traceSink);
         }
         res.platform = platform.name;
@@ -151,7 +182,14 @@ PlatformSession::runBatch(sim::Tick ready,
                           pr = std::move(r);
                           got = true;
                       });
-    s.queue.run();
+    if (s.psim) {
+        // Conservative parallel run over the device queues; the
+        // worker count (--jobs / BGN_JOBS) never changes the result.
+        s.psim->run();
+        s.engine->completePrepared();
+    } else {
+        s.devices[0]->queue().run();
+    }
     if (!got)
         sim::panic("runBatch: prep did not complete");
     if (!pr.ok)
@@ -350,6 +388,18 @@ PlatformSession::finish()
     // devices = 1 snapshot stays byte-identical to the historical
     // single-SSD snapshot.
     if (ndev > 1) {
+        // Synchronization windows of the conservative parallel driver
+        // (a pure function of the event timeline: identical for every
+        // worker count, so it may live in the metrics snapshot).
+        if (s.psim)
+            reg.gauge("run.sim_windows")
+                .set(static_cast<double>(s.psim->windows()));
+        if (s.run.traceSink) {
+            s.engine->flushTraceShards();
+            for (const auto &shard : s.backendShards)
+                s.run.traceSink->absorb(*shard);
+            s.backendShards.clear();
+        }
         reg.gauge("array.devices").set(static_cast<double>(ndev));
         reg.counter("array.commands").add(res.commands);
         reg.counter("array.cross_device").add(res.crossDevice);

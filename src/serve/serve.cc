@@ -120,13 +120,14 @@ serveWorkload(const platforms::PlatformConfig &platform,
         if (res.devices > 1) {
             metrics->gauge("serve.devices")
                 .set(static_cast<double>(res.devices));
-            for (std::size_t d = 0; d < res.perDevice.size(); ++d) {
+            for (std::size_t dev = 0; dev < res.perDevice.size();
+                 ++dev) {
                 std::string prefix =
-                    "serve.dev" + std::to_string(d) + ".";
+                    "serve.dev" + std::to_string(dev) + ".";
                 metrics->counter(prefix + "commands")
-                    .add(res.perDevice[d].commands);
+                    .add(res.perDevice[dev].commands);
                 metrics->gauge(prefix + "command_share")
-                    .set(res.deviceShare(d));
+                    .set(res.deviceShare(dev));
             }
         }
     }

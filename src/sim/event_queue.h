@@ -75,8 +75,53 @@ class EventQueue
     /** Number of pending events. */
     std::size_t pending() const { return events.size(); }
 
+    /** Timestamp of the earliest pending event (kTickMax if none).
+     *  This is what a conservative parallel driver needs to compute
+     *  the global window floor without popping anything. */
+    Tick
+    nextTime() const
+    {
+        return events.empty() ? kTickMax : events.front().when;
+    }
+
     /** Pre-size the event heap to avoid growth reallocations. */
     void reserve(std::size_t n) { events.reserve(n); }
+
+    /** Grow capacity by @p n more events beyond the current pending
+     *  count (bulk message delivery pre-sizes once, not per event). */
+    void reserveAdditional(std::size_t n) { events.reserve(events.size() + n); }
+
+    /** One pre-timed event of a bulkScheduleAt() batch. */
+    struct TimedEvent
+    {
+        Tick when;
+        Callback fn;
+    };
+
+    /**
+     * Schedule a whole message batch at once (mailbox drains). One
+     * capacity reservation covers the batch, and a batch that rivals
+     * the heap size re-heapifies once (O(n + k)) instead of paying k
+     * sift-ups. Execution order is unaffected by the internal path:
+     * the pop order is the total order (when, insertion-seq), and the
+     * batch receives its sequence numbers in element order exactly as
+     * k individual scheduleAt() calls would.
+     */
+    void
+    bulkScheduleAt(std::vector<TimedEvent> batch)
+    {
+        reserveAdditional(batch.size());
+        if (batch.size() >= 8 && batch.size() >= events.size() / 2) {
+            for (TimedEvent &e : batch) {
+                events.push_back(Event{std::max(e.when, _now), seq++,
+                                       std::move(e.fn)});
+            }
+            std::make_heap(events.begin(), events.end(), Later{});
+        } else {
+            for (TimedEvent &e : batch)
+                scheduleAt(e.when, std::move(e.fn));
+        }
+    }
 
     /** Allocated heap capacity (events). */
     std::size_t capacity() const { return events.capacity(); }

@@ -1,0 +1,143 @@
+#include "sim/parallel_sim.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "sim/executor.h"
+#include "sim/log.h"
+
+namespace beacongnn::sim {
+
+void
+SpinBarrier::yieldNow()
+{
+    std::this_thread::yield();
+}
+
+ParallelSimulator::ParallelSimulator(std::vector<SimStation> stations,
+                                     Tick lookahead, unsigned jobs)
+    : _stations(std::move(stations)), _lookahead(lookahead),
+      _jobsParam(jobs)
+{
+    for (const SimStation &s : _stations)
+        if (!s.queue || !s.drain)
+            fatal("ParallelSimulator: station without queue or drain");
+}
+
+Tick
+ParallelSimulator::deliverAndFloor()
+{
+    // Drains run serially in station order: each hook sorts its own
+    // messages, so the delivery sequence is a pure function of the
+    // message set — deterministic for any worker count.
+    for (SimStation &s : _stations)
+        s.drain();
+    Tick floor = kTickMax;
+    for (SimStation &s : _stations)
+        floor = std::min(floor, s.queue->nextTime());
+    return floor;
+}
+
+Tick
+ParallelSimulator::windowLimit(Tick floor) const
+{
+    // Inclusive runUntil() limit: [floor, floor + lookahead). With a
+    // zero lookahead the window collapses to the single timestamp
+    // `floor` — serialized but deadlock-free (messages posted at
+    // `floor` are delivered next round, in sorted order).
+    if (_lookahead == 0)
+        return floor;
+    if (_lookahead - 1 > kTickMax - floor)
+        return kTickMax;
+    return floor + (_lookahead - 1);
+}
+
+Tick
+ParallelSimulator::runSerial()
+{
+    for (;;) {
+        Tick floor = deliverAndFloor();
+        if (floor == kTickMax)
+            break;
+        Tick limit = windowLimit(floor);
+        ++_windows;
+        for (SimStation &s : _stations)
+            s.queue->runUntil(limit);
+    }
+    Tick end = 0;
+    for (SimStation &s : _stations)
+        end = std::max(end, s.queue->now());
+    return end;
+}
+
+Tick
+ParallelSimulator::runParallel(unsigned workers)
+{
+    // Two barriers per window. `limit` and `stop` are plain values:
+    // the main thread writes them strictly before its `ready`
+    // arrival, and the barrier's acquire/release generation hand-off
+    // orders them before any worker's read (and the workers' station
+    // mutations before the main thread's next drain).
+    SpinBarrier ready(workers), done(workers);
+    Tick limit = 0;
+    bool stop = false;
+
+    auto runStations = [&](unsigned w) {
+        for (std::size_t s = w; s < _stations.size(); s += workers)
+            _stations[s].queue->runUntil(limit);
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers - 1);
+    for (unsigned w = 1; w < workers; ++w) {
+        pool.emplace_back([&, w] {
+            for (;;) {
+                ready.arriveAndWait();
+                if (stop)
+                    return;
+                runStations(w);
+                done.arriveAndWait();
+            }
+        });
+    }
+
+    for (;;) {
+        Tick floor = deliverAndFloor();
+        if (floor == kTickMax) {
+            stop = true;
+            ready.arriveAndWait();
+            break;
+        }
+        limit = windowLimit(floor);
+        ++_windows;
+        ready.arriveAndWait();
+        runStations(0);
+        done.arriveAndWait();
+    }
+    for (std::thread &t : pool)
+        t.join();
+
+    Tick end = 0;
+    for (SimStation &s : _stations)
+        end = std::max(end, s.queue->now());
+    return end;
+}
+
+Tick
+ParallelSimulator::run()
+{
+    if (_stations.empty())
+        return 0;
+    unsigned jobs = _jobsParam ? _jobsParam : SimExecutor::defaultJobs();
+    unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
+        std::max(1u, jobs), _stations.size()));
+    _lastJobs = workers;
+    // The two paths execute the identical window algorithm; jobs = 1
+    // simply runs every station on the calling thread. Results are
+    // byte-identical by construction.
+    if (workers <= 1)
+        return runSerial();
+    return runParallel(workers);
+}
+
+} // namespace beacongnn::sim

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Conservative parallel discrete-event simulation across stations
+ * (DESIGN.md §13).
+ *
+ * Each station owns a private EventQueue (its local clock) and a
+ * drain hook that delivers its pending inbound mailbox messages. The
+ * driver runs a synchronous-window (YAWNS-style Chandy–Misra)
+ * algorithm: per round it drains every inbox, computes the global
+ * floor T = min over stations of the earliest pending event, and
+ * lets every station advance concurrently through the window
+ * [T, T + lookahead). The lookahead is the fabric's minimum
+ * cross-station latency (one P2P hop): any message generated inside
+ * the window is stamped at or beyond the horizon, so no station can
+ * receive work it should already have executed.
+ *
+ * Determinism contract: the executed event sequence of every station
+ * is a pure function of (initial queues, drain hooks, lookahead) —
+ * the worker count never changes which window an event lands in or
+ * the order inside a window, because windows are global barriers and
+ * each drain hook must deliver in a deterministically sorted order.
+ * jobs = 1 therefore produces byte-identical results to any other
+ * worker count, just on one thread.
+ *
+ * Zero lookahead does not deadlock: the window degenerates to a
+ * single timestamp ([T, T]) and the simulation proceeds as globally
+ * serialized tick-stepped rounds — still deterministic for every
+ * worker count, merely without look-ahead parallelism.
+ */
+
+#ifndef BEACONGNN_SIM_PARALLEL_SIM_H
+#define BEACONGNN_SIM_PARALLEL_SIM_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/types.h"
+
+namespace beacongnn::sim {
+
+/** One parallel station: a device's queue plus its inbox drain. */
+struct SimStation
+{
+    EventQueue *queue = nullptr;
+    /** Deliver pending inbound messages into `queue` in a
+     *  deterministically sorted order; returns how many. Called only
+     *  between windows (no station running). */
+    std::function<std::size_t()> drain;
+};
+
+/**
+ * Reusable spinning barrier for the window loop. std::barrier (or
+ * spawning threads per window) costs a futex round-trip per window;
+ * windows are microseconds of work, so the workers spin briefly and
+ * then yield — oversubscribed hosts degrade gracefully instead of
+ * burning a core per waiter.
+ */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(unsigned parties) : n(parties) {}
+
+    void
+    arriveAndWait()
+    {
+        std::uint64_t my = gen.load(std::memory_order_acquire);
+        if (count.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+            count.store(0, std::memory_order_relaxed);
+            gen.fetch_add(1, std::memory_order_release);
+            return;
+        }
+        unsigned spins = 0;
+        while (gen.load(std::memory_order_acquire) == my) {
+            if (++spins > kSpinLimit)
+                yieldNow();
+        }
+    }
+
+  private:
+    static constexpr unsigned kSpinLimit = 4096;
+    static void yieldNow();
+
+    unsigned n;
+    std::atomic<unsigned> count{0};
+    std::atomic<std::uint64_t> gen{0};
+};
+
+/** Conservative windowed driver over a set of stations. */
+class ParallelSimulator
+{
+  public:
+    /**
+     * @param stations  The per-device queues + drain hooks.
+     * @param lookahead Minimum cross-station latency (ticks). Zero is
+     *                  legal and falls back to serialized windows.
+     * @param jobs      Worker count; 0 resolves SimExecutor's default
+     *                  (--jobs / BGN_JOBS / cores) at each run() and
+     *                  is clamped to the station count.
+     */
+    ParallelSimulator(std::vector<SimStation> stations, Tick lookahead,
+                      unsigned jobs = 0);
+
+    /**
+     * Run until global quiescence: every queue drained and every
+     * mailbox empty. @return max station clock reached.
+     */
+    Tick run();
+
+    /** Synchronization windows executed across all run() calls. */
+    std::uint64_t windows() const { return _windows; }
+
+    /** Lookahead this driver synchronizes with. */
+    Tick lookahead() const { return _lookahead; }
+
+    /** Worker count the last run() resolved to (0 before any run). */
+    unsigned lastJobs() const { return _lastJobs; }
+
+  private:
+    Tick runSerial();
+    Tick runParallel(unsigned workers);
+    /** Drain every inbox (station order); then the global floor. */
+    Tick deliverAndFloor();
+    Tick windowLimit(Tick floor) const;
+
+    std::vector<SimStation> _stations;
+    Tick _lookahead;
+    unsigned _jobsParam;
+    unsigned _lastJobs = 0;
+    std::uint64_t _windows = 0;
+};
+
+} // namespace beacongnn::sim
+
+#endif // BEACONGNN_SIM_PARALLEL_SIM_H

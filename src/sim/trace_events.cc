@@ -42,6 +42,26 @@ TraceSink::endAsync(const char *name, const char *cat, std::uint64_t id,
 }
 
 void
+TraceSink::absorb(const TraceSink &shard)
+{
+    const std::uint64_t offset = idSeq;
+    for (const Event &e : shard.evs) {
+        if (full())
+            continue; // full() tallies each dropped event.
+        Event copy = e;
+        if (copy.phase != 'X')
+            copy.id += offset;
+        evs.push_back(copy);
+    }
+    idSeq += shard.idSeq;
+    _dropped += shard._dropped;
+    for (const auto &[pid, name] : shard.processNames)
+        processNames[pid] = name;
+    for (const auto &[key, name] : shard.threadNames)
+        threadNames[key] = name;
+}
+
+void
 TraceSink::setProcessName(std::uint32_t pid, const std::string &name)
 {
     processNames[pid] = name;

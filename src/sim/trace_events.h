@@ -66,6 +66,17 @@ class TraceSink
     std::size_t events() const { return evs.size(); }
     std::size_t dropped() const { return _dropped; }
 
+    /**
+     * Append every event of @p shard to this sink, rebasing the
+     * shard's async-span ids past this sink's id sequence so two
+     * shards' span families never collide. Per-device shard sinks
+     * collect events concurrently during a parallel multi-device run;
+     * absorbing them in device order afterwards keeps the final trace
+     * byte-identical for every worker count (DESIGN.md §13). Track
+     * names merge by (pid, tid) key.
+     */
+    void absorb(const TraceSink &shard);
+
     /** Emit the {"traceEvents": [...]} JSON document. */
     void write(std::ostream &os) const;
 

@@ -1,6 +1,6 @@
 /**
  * @file
- * bgnlint rule engine tests (DESIGN.md §11): every rule BGN001–BGN005
+ * bgnlint rule engine tests (DESIGN.md §11): every rule BGN001–BGN006
  * is demonstrated caught on a fixture that seeds exactly one kind of
  * violation, suppression comments are honoured, clean code stays
  * clean, and the file walker behaves. Closes with the determinism
@@ -342,6 +342,60 @@ std::uint64_t f(std::size_t n) {
 }
 
 // ==================================================================
+// BGN006 — direct schedule on a foreign device queue.
+// ==================================================================
+
+TEST(Bgn006, ForeignQueueSchedulesAreFlagged)
+{
+    auto fs = lintOne("src/engines/fixture.cc", R"cpp(
+void f(DevicePort &port, DeviceContext *dc, Event ev) {
+    port.queue->scheduleAt(7, ev);
+    dc->queue().schedule(ev);
+    ports[d].queue->bulkScheduleAt(std::move(batch));
+}
+)cpp");
+    auto got = ruleLines(fs);
+    std::vector<std::pair<std::string, int>> want = {
+        {"BGN006", 3}, // port.queue->scheduleAt
+        {"BGN006", 4}, // dc->queue().schedule
+        {"BGN006", 5}, // ports[d].queue->bulkScheduleAt
+    };
+    EXPECT_EQ(got, want);
+}
+
+TEST(Bgn006, OwnQueueAndAccessorsAreNotFlagged)
+{
+    auto fs = lintOne("src/engines/ok.cc", R"cpp(
+void f(unsigned dev, Event ev) {
+    queue.scheduleAt(3, ev);          // A station's own queue.
+    homeQueue(dev).scheduleAt(5, ev); // Resolves to this station.
+    auto &q = devices[0]->queue();    // Accessor without a schedule.
+    q.run();
+}
+)cpp");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(Bgn006, BenchAndTestCodeIsOutOfScope)
+{
+    auto fs = lintOne(
+        "bench/fixture.cc",
+        "void f(P &p, E ev) { p.queue->scheduleAt(1, ev); }\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(Bgn006, AllowTagMarksSanctionedSyncSeam)
+{
+    auto fs = lintOne("src/engines/seam.cc", R"cpp(
+void f(unsigned dev, Batch batch) {
+    // bgnlint:allow(BGN006)
+    ports[dev].queue->bulkScheduleAt(std::move(batch));
+}
+)cpp");
+    EXPECT_TRUE(fs.empty());
+}
+
+// ==================================================================
 // Suppression comments.
 // ==================================================================
 
@@ -415,10 +469,10 @@ TEST(Driver, RuleFilterRestricts)
     EXPECT_EQ(fs[0].rule, "BGN001");
 }
 
-TEST(Driver, CatalogHasFiveRulesInOrder)
+TEST(Driver, CatalogHasSixRulesInOrder)
 {
     const auto &rules = bgnlint::ruleCatalog();
-    ASSERT_EQ(rules.size(), 5u);
+    ASSERT_EQ(rules.size(), 6u);
     for (std::size_t i = 0; i < rules.size(); ++i)
         EXPECT_EQ(rules[i].id, "BGN00" + std::to_string(i + 1));
 }

@@ -39,6 +39,11 @@ const std::vector<RuleInfo> kRules = {
      "deterministic-order tag",
      "reduce in submission order over the collected results and tag "
      "the site with // bgnlint:deterministic-order"},
+    {"BGN006",
+     "direct schedule on a foreign device queue",
+     "cross-device work must travel as a timestamped sim::Mailbox "
+     "message (DESIGN.md §13); only the conservative-sync seams may "
+     "touch another device's queue, tagged // bgnlint:allow(BGN006)"},
 };
 
 bool
@@ -277,6 +282,7 @@ class Linter
     void rule003(const FileContext &ctx);
     void rule004(const FileContext &ctx);
     void rule005(const FileContext &ctx);
+    void rule006(const FileContext &ctx);
 };
 
 // ---- BGN001: wall clock / ambient randomness ----------------------
@@ -527,6 +533,50 @@ Linter::rule005(const FileContext &ctx)
     }
 }
 
+// ---- BGN006: direct schedule on a foreign device queue -------------
+
+const std::set<std::string> kScheduleNames = {"schedule", "scheduleAt",
+                                              "bulkScheduleAt"};
+
+void
+Linter::rule006(const FileContext &ctx)
+{
+    const std::string &path = ctx.input->path;
+    bool simCode = startsWith(path, "src/") ||
+                   (startsWith(path, "tools/") &&
+                    !startsWith(path, "tools/bgnlint/"));
+    if (!simCode)
+        return;
+    const auto &t = ctx.code;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        // `EXPR.queue->scheduleAt(` / `EXPR->queue.schedule(`: reaching
+        // through a member named `queue` marks the queue as belonging
+        // to some *other* object — a station's own queue is named
+        // plainly (`queue.scheduleAt(...)`, `homeQueue(dev)...`).
+        if (t[i].kind != TokKind::Identifier || t[i].text != "queue")
+            continue;
+        if (!(isPunct(t[i - 1], ".") || isPunct(t[i - 1], "->")))
+            continue;
+        std::size_t m = i + 1; // Member access after `queue`...
+        if (m + 1 < t.size() && isPunct(t[m], "(") &&
+            isPunct(t[m + 1], ")"))
+            m += 2; // ...or after a `queue()` accessor call.
+        if (m + 2 >= t.size() ||
+            !(isPunct(t[m], ".") || isPunct(t[m], "->")))
+            continue;
+        if (t[m + 1].kind != TokKind::Identifier ||
+            !kScheduleNames.count(t[m + 1].text) ||
+            !isPunct(t[m + 2], "("))
+            continue;
+        emit(ctx, t[m + 1].line, "BGN006",
+             t[m + 1].text +
+                 "() on a foreign device queue bypasses conservative "
+                 "sync; post a timestamped sim::Mailbox message "
+                 "(DESIGN.md §13) or, at a sanctioned sync seam, tag "
+                 "the line // bgnlint:allow(BGN006)");
+    }
+}
+
 std::vector<Finding>
 Linter::run(const FileContext &ctx)
 {
@@ -536,6 +586,7 @@ Linter::run(const FileContext &ctx)
     rule003(ctx);
     rule004(ctx);
     rule005(ctx);
+    rule006(ctx);
     return std::move(out);
 }
 

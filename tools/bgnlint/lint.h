@@ -3,7 +3,7 @@
  * bgnlint — BeaconGNN's determinism/invariant static-analysis pass
  * (DESIGN.md §11).
  *
- * Five repo-specific rules, each a named, suppressible diagnostic:
+ * Six repo-specific rules, each a named, suppressible diagnostic:
  *
  *  - BGN001  no wall-clock / ambient randomness in simulation code
  *            (std::rand, srand, random_device, time(), any
@@ -20,16 +20,22 @@
  *            roots, lower_snake components);
  *  - BGN005  no float/double accumulation inside parallelMap/runGrid
  *            call regions without a `bgnlint:deterministic-order`
- *            comment tag vouching for a fixed reduction order.
+ *            comment tag vouching for a fixed reduction order;
+ *  - BGN006  no direct schedule()/scheduleAt()/bulkScheduleAt() on a
+ *            queue reached through a member — `port.queue->scheduleAt`
+ *            or `ctx->queue().schedule`: under the conservative
+ *            parallel simulator (DESIGN.md §13) cross-device work must
+ *            travel as a timestamped sim::Mailbox message; the handful
+ *            of sanctioned sync seams carry an allow tag.
  *
  * Suppression: `// bgnlint:allow(BGN002)` (comma-separate several
  * IDs) on the finding's line or the line directly above it.
  *
- * Scope: BGN001 applies under src/ and tools/ (bench/ is host-side
- * measurement harness and may read wall clocks; tools/bgnlint itself
- * names the banned constructs and is excluded); BGN003 exempts
- * src/sim/ (InlineCallback's small-buffer kernel); the rest apply to
- * every scanned file.
+ * Scope: BGN001 and BGN006 apply under src/ and tools/ (bench/ is
+ * host-side measurement harness and may read wall clocks; tools/
+ * bgnlint itself names the banned constructs and is excluded); BGN003
+ * exempts src/sim/ (InlineCallback's small-buffer kernel); the rest
+ * apply to every scanned file.
  *
  * The analysis is a lightweight tokenizer pass, not a compiler: name
  * resolution is "nearest preceding declaration in the same file, else
@@ -53,7 +59,7 @@ struct Finding
 {
     std::string file; ///< Path as given (relative to scan root).
     int line = 0;
-    std::string rule; ///< "BGN001".."BGN005".
+    std::string rule; ///< "BGN001".."BGN006".
     std::string message;
     bool suppressed = false;
 };

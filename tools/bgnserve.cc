@@ -61,10 +61,13 @@ usage(const char *argv0, int status = 2)
         ">1 needs a streaming platform)\n"
         "  --p2p-mbps X        per-device P2P link bandwidth "
         "(default 4000)\n"
+        "  --p2p-latency-us X  P2P hop latency in us (default 1; the "
+        "parallel simulator's lookahead)\n"
         "  --partition NAME    hash|range|balanced graph partition "
         "(default hash)\n"
         "  --channels N / --dies N   SSD geometry\n"
-        "  --jobs N            parallel workers for the sweep\n"
+        "  --jobs N            parallel workers: sweep points, and the "
+        "device queues within one multi-device run\n"
         "  --csv FILE          append CSV rows to FILE\n"
         "  --breakdown         print per-QoS-class breakdown per rate\n"
         "  --metrics FILE      dump every instrument as JSON\n"
@@ -150,6 +153,9 @@ main(int argc, char **argv)
             static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
         else if (a == "--p2p-mbps") rc.topology.p2pMBps =
             std::strtod(next(), nullptr);
+        else if (a == "--p2p-latency-us") rc.topology.p2pLatency =
+            sim::microseconds(static_cast<sim::Tick>(
+                std::strtoul(next(), nullptr, 10)));
         else if (a == "--partition") {
             std::string n = next();
             auto p = platforms::findPartitionPolicy(n);

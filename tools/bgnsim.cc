@@ -51,7 +51,9 @@ usage(const char *argv0)
         "BG-SP|BG-DGSP|BG-2 (default BG-2)\n"
         "  --workload NAME[,NAME...]  reddit|amazon|movielens|OGBN|PPI "
         "(default amazon)\n"
-        "  --jobs N            parallel workers for grid runs "
+        "  --jobs N            parallel workers: grid cells, and the "
+        "device queues\n"
+        "                      within one multi-device run "
         "(default: BGN_JOBS or cores)\n"
         "  --nodes N           override the workload's node count\n"
         "  --batches N         mini-batches to run (default 4)\n"
@@ -68,6 +70,9 @@ usage(const char *argv0)
         ">1 needs a streaming platform)\n"
         "  --p2p-mbps X        per-device P2P link bandwidth "
         "(default 4000)\n"
+        "  --p2p-latency-us X  P2P hop latency in us (default 1; the "
+        "parallel\n"
+        "                      simulator's lookahead — 0 serializes)\n"
         "  --partition NAME    hash|range|balanced graph partition "
         "(default hash)\n"
         "  --trace-util        collect utilization series\n"
@@ -151,6 +156,9 @@ main(int argc, char **argv)
             static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
         else if (a == "--p2p-mbps") rc.topology.p2pMBps =
             std::strtod(next(), nullptr);
+        else if (a == "--p2p-latency-us") rc.topology.p2pLatency =
+            sim::microseconds(static_cast<sim::Tick>(
+                std::strtoul(next(), nullptr, 10)));
         else if (a == "--partition") {
             std::string n = next();
             auto p = findPartitionPolicy(n);
