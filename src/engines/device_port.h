@@ -16,6 +16,10 @@
 
 #include "sim/resources.h"
 
+namespace beacongnn::cache {
+class VertexCache;
+} // namespace beacongnn::cache
+
 namespace beacongnn::flash {
 class FlashBackend;
 } // namespace beacongnn::flash
@@ -42,6 +46,9 @@ struct DevicePort
     CommandRouter *router = nullptr;
     /** Die-level sampler bank of this device. */
     DieSampler *sampler = nullptr;
+    /** Device-DRAM vertex/feature cache tier (null = cache off;
+     *  DESIGN.md §14). Touched only from this device's event lane. */
+    cache::VertexCache *cache = nullptr;
     /** Outbound P2P port (null on a single device). */
     sim::BandwidthResource *p2pOut = nullptr;
     /** This device's own event queue / local clock (multi-device

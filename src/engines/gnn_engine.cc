@@ -1,10 +1,12 @@
 #include "engines/gnn_engine.h"
 
 #include <algorithm>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "cache/vertex_cache.h"
 #include "sim/log.h"
 #include "sim/metrics.h"
 #include "sim/rng.h"
@@ -719,6 +721,65 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
         }
     }
 
+    // ---- Device-DRAM cache tier (DESIGN.md §14) ---------------------
+    // A section resident in this device's vertex cache is served on
+    // the short DRAM path: the sampler logic still runs (fresh draws
+    // per instance, exactly like the dedupe path above), but no flash
+    // sense is issued at all. Misses fall through to the sense path
+    // below and fill the cache once the frame parses. The cache is
+    // per device and touched only from its event lane, so array runs
+    // stay byte-identical for any worker count.
+    if (port.cache) {
+        if (std::optional<sim::Tick> filled =
+                port.cache->lookup(self_addr.raw)) {
+            auto section = source.fetch(self_addr);
+            flash::GnnSampleResult result =
+                sampler.execute(section, params);
+            sim::Tick avail = std::max(ready, *filled);
+            sim::Grant mem =
+                fw.dram().acquire(avail, result.frameBytes());
+            sim::Tick parsed = mem.end;
+            tally.dramBytes += result.frameBytes();
+            if (result.featureIncluded) {
+                tally.featureBytes += result.featureBytes;
+                b->res.perDevice[dev].featureBytes += result.featureBytes;
+            }
+            gnn::Slot parent = params.parentSlot;
+            if (!params.isSecondary && result.ok) {
+                parent = add_entry(result.nodeId, params.hop,
+                                   params.parentSlot);
+            }
+            if (!result.ok) {
+                ++tally.abortedCommands;
+                if (multi)
+                    lane->ok = false;
+                else
+                    b->res.ok = false;
+            }
+            if (!multi)
+                b->outstanding += result.follow.size();
+            unsigned ch = backend.codec().channelOf(params.ppa);
+            for (auto &f : result.follow) {
+                f.params.parentSlot = parent;
+                scheduleChild(b, f.params, parsed, ch, dev);
+            }
+            unsigned span = std::min<unsigned>(params.hop, model.hops);
+            if (params.finalHop)
+                span = model.hops;
+            hops[span].cover(created, parsed);
+            if (tr)
+                tr->complete("cache-hit", "cache",
+                             port.tracePidBase + flash::kTraceDramPid,
+                             0, created, parsed);
+            finish_max = std::max(finish_max, parsed);
+            if (!multi && --b->outstanding == 0) {
+                b->res.routerStats = routerTotals();
+                finishBatch(b, b->finishMax);
+            }
+            return;
+        }
+    }
+
     // Nestable async lifetime span per command (Perfetto: one slice
     // with dispatch / sense / xfer / consume children).
     std::uint64_t span_id = 0;
@@ -813,6 +874,8 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
     }
     if (_flags.dedupeNodes && !params.isSecondary)
         b->fetched[dev].emplace(self_addr.raw, parsed);
+    if (port.cache)
+        port.cache->fill(self_addr.raw, parsed);
 
     // ---- Bookkeeping ---------------------------------------------------
     if (multi)
@@ -1007,33 +1070,62 @@ GnnEngine::runHop(const std::shared_ptr<Batch> &b, unsigned hop,
         if (trace)
             trace->endAsync(to_host ? "host-io" : "fw-issue", "cmd",
                             span_id, dispatched);
-        flash::FlashOpTiming t =
-            backend.read(dispatched, ppa, bytes, on_die);
-        ++b->res.tally.flashReads;
-        ++b->res.perDevice[0].flashReads;
-        b->res.tally.channelBytes += bytes;
-        sim::Grant mem = fw.dram().acquire(t.xferEnd, bytes);
+        // ---- Device-DRAM cache probe (DESIGN.md §14) ----------------
+        // Die-assisted reads (on_die > 0) always sense — the sampler
+        // works beside the die — so only plain page reads participate.
+        // A hit is still a host-visible command (counted, cmd-stats
+        // with zero flash time) but no flash operation is issued.
+        cache::VertexCache *vc = ports[0].cache;
+        const bool cacheable = vc && on_die == 0;
+        std::optional<sim::Tick> filled =
+            cacheable ? vc->lookup(ppa) : std::nullopt;
+        sim::Tick sense_start;
+        sim::Tick xfer_end;
+        sim::Tick flash_time;
+        if (filled) {
+            sense_start = dispatched;
+            xfer_end = std::max(dispatched, *filled);
+            flash_time = 0;
+        } else {
+            flash::FlashOpTiming t =
+                backend.read(dispatched, ppa, bytes, on_die);
+            ++b->res.tally.flashReads;
+            ++b->res.perDevice[0].flashReads;
+            b->res.tally.channelBytes += bytes;
+            sense_start = t.senseStart;
+            xfer_end = t.xferEnd;
+            flash_time =
+                (t.senseEnd - t.senseStart) + (t.xferEnd - t.xferStart);
+            if (trace) {
+                trace->beginAsync("sense", "cmd", span_id, t.senseStart);
+                trace->endAsync("sense", "cmd", span_id, t.senseEnd);
+                trace->beginAsync("xfer", "cmd", span_id, t.xferStart);
+                trace->endAsync("xfer", "cmd", span_id, t.xferEnd);
+            }
+        }
+        sim::Grant mem = fw.dram().acquire(xfer_end, bytes);
         b->res.tally.dramBytes += bytes;
         sim::Tick parsed = fw.coreComplete(mem.end, core_extra).end;
+        if (cacheable && !filled)
+            vc->fill(ppa, parsed);
         if (to_host && pcie_bytes > 0) {
             sim::Grant link = fw.pcie().acquire(parsed, pcie_bytes);
             b->res.tally.pcieBytes += pcie_bytes;
             parsed = link.end;
         }
         if (trace) {
-            trace->beginAsync("sense", "cmd", span_id, t.senseStart);
-            trace->endAsync("sense", "cmd", span_id, t.senseEnd);
-            trace->beginAsync("xfer", "cmd", span_id, t.xferStart);
-            trace->endAsync("xfer", "cmd", span_id, t.xferEnd);
-            trace->beginAsync("consume", "cmd", span_id, t.xferEnd);
+            if (filled)
+                trace->complete("cache-hit", "cache",
+                                ports[0].tracePidBase +
+                                    flash::kTraceDramPid,
+                                0, created, parsed);
+            trace->beginAsync("consume", "cmd", span_id, xfer_end);
             trace->endAsync("consume", "cmd", span_id, parsed);
             trace->endAsync("cmd", "cmd", span_id, parsed);
         }
         ++b->res.commands;
         ++b->res.perDevice[0].commands;
-        sim::Tick wait_before = t.senseStart - created;
-        sim::Tick flash_time =
-            (t.senseEnd - t.senseStart) + (t.xferEnd - t.xferStart);
+        sim::Tick wait_before = sense_start - created;
         b->res.cmdStats.waitBefore.add(sim::toMicros(wait_before));
         b->res.cmdStats.flashTime.add(sim::toMicros(flash_time));
         b->res.cmdStats.waitAfter.add(

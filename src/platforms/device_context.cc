@@ -13,7 +13,8 @@ DeviceContext::DeviceContext(const PlatformConfig &platform,
                              const TopologyConfig &topo,
                              const gnn::ModelConfig &model,
                              const std::vector<flash::BlockId> &blocks,
-                             unsigned index, bool trace_utilization)
+                             unsigned index, bool trace_utilization,
+                             const cache::CacheConfig &cache_cfg)
     : _index(index), _backend(system.flash, trace_utilization),
       _fw(system),
       _sampler(system.engine,
@@ -37,6 +38,8 @@ DeviceContext::DeviceContext(const PlatformConfig &platform,
     if (topo.multi())
         _p2p = std::make_unique<sim::BandwidthResource>(topo.p2pMBps,
                                                         "p2p");
+    if (cache_cfg.enabled())
+        _cache = std::make_unique<cache::VertexCache>(cache_cfg);
 }
 
 engines::DevicePort
@@ -47,6 +50,7 @@ DeviceContext::port()
     p.fw = &_fw;
     p.router = _router.get();
     p.sampler = &_sampler;
+    p.cache = _cache.get();
     p.p2pOut = _p2p.get();
     p.queue = &_queue;
     p.tracePidBase = tracePidBase();

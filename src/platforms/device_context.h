@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "accel/accelerator.h"
+#include "cache/vertex_cache.h"
 #include "engines/gnn_engine.h"
 #include "platforms/platform.h"
 #include "platforms/topology.h"
@@ -49,12 +50,15 @@ class DeviceContext
      * @param blocks   Block reservation to mirror into this FTL.
      * @param index    Device index within the topology.
      * @param trace_utilization Record per-unit busy intervals.
+     * @param cache_cfg Device-DRAM cache tier sizing (disabled by
+     *                  default; DESIGN.md §14).
      */
     DeviceContext(const PlatformConfig &platform,
                   const ssd::SystemConfig &system,
                   const TopologyConfig &topo, const gnn::ModelConfig &model,
                   const std::vector<flash::BlockId> &blocks, unsigned index,
-                  bool trace_utilization);
+                  bool trace_utilization,
+                  const cache::CacheConfig &cache_cfg = {});
 
     /** Engine-facing view of this device's hardware. */
     engines::DevicePort port();
@@ -79,6 +83,14 @@ class DeviceContext
     /** Outbound P2P port (nullptr on a single device). */
     sim::BandwidthResource *p2pOut() { return _p2p.get(); }
     const sim::BandwidthResource *p2pOut() const { return _p2p.get(); }
+    /** Device-DRAM cache tier (nullptr when the run disables it). */
+    cache::VertexCache *vertexCache() { return _cache.get(); }
+    const cache::VertexCache *vertexCache() const { return _cache.get(); }
+    /** This device's cache tallies (zeros when the tier is off). */
+    cache::CacheStats cacheStats() const
+    {
+        return _cache ? _cache->stats() : cache::CacheStats{};
+    }
 
     unsigned index() const { return _index; }
     /** Chrome-trace pid base of this device (4 pids per device). */
@@ -109,6 +121,9 @@ class DeviceContext
     accel::Accelerator _accel;
     sim::Bus _accelBus{"accel"};
     std::unique_ptr<sim::BandwidthResource> _p2p;
+    /** Device-DRAM vertex/feature cache (built iff the run enables
+     *  it; DESIGN.md §14). */
+    std::unique_ptr<cache::VertexCache> _cache;
 };
 
 } // namespace beacongnn::platforms

@@ -11,6 +11,7 @@
 #include "sim/parallel_sim.h"
 #include "sim/rng.h"
 #include "sim/trace_events.h"
+#include "sim/zipf.h"
 #include "ssd/firmware.h"
 
 namespace beacongnn::platforms {
@@ -101,7 +102,7 @@ struct PlatformSession::Impl
         for (unsigned d = 0; d < topo.devices; ++d) {
             devices.push_back(std::make_unique<DeviceContext>(
                 p, r.system, topo, b.model, b.layout.blocks, d,
-                r.traceUtilization));
+                r.traceUtilization, r.cache));
             ports.push_back(devices.back()->port());
         }
         devTallies.resize(devices.size());
@@ -427,6 +428,37 @@ PlatformSession::finish()
         reg.counter("array.p2p.bytes").add(p2p_bytes);
         reg.counter("array.p2p.busy_ticks").add(p2p_busy);
     }
+
+    // Cache-tier instruments exist only when the run configured a
+    // cache, so cache-off snapshots stay byte-identical to the
+    // historical ones. The aggregate hit rate is computed here, once,
+    // from the summed tallies (never merged as a gauge — Gauge merge
+    // is last-write-wins) and 0/0 guards to 0.0 like crossFraction.
+    if (s.run.cache.enabled()) {
+        cache::CacheStats agg;
+        for (const auto &dev : s.devices)
+            agg.merge(dev->cacheStats());
+        reg.counter("engine.cache.hits").add(agg.hits);
+        reg.counter("engine.cache.misses").add(agg.misses);
+        reg.counter("engine.cache.fills").add(agg.fills);
+        reg.counter("engine.cache.evictions").add(agg.evictions);
+        reg.counter("engine.cache.bytes").add(agg.bytes);
+        reg.gauge("engine.cache.hit_rate").set(agg.hitRate());
+        if (ndev > 1) {
+            for (const auto &dev : s.devices) {
+                const cache::CacheStats st = dev->cacheStats();
+                const std::string prefix =
+                    "array.dev" + std::to_string(dev->index()) +
+                    ".cache.";
+                reg.counter(prefix + "hits").add(st.hits);
+                reg.counter(prefix + "misses").add(st.misses);
+                reg.counter(prefix + "fills").add(st.fills);
+                reg.counter(prefix + "evictions").add(st.evictions);
+                reg.counter(prefix + "bytes").add(st.bytes);
+                reg.gauge(prefix + "hit_rate").set(st.hitRate());
+            }
+        }
+    }
     return res;
 }
 
@@ -445,10 +477,19 @@ runPlatform(const PlatformConfig &platform, const RunConfig &run,
     sim::Pcg32 rng(run.targetSeed, 0xACE5);
     const graph::NodeId n_nodes = bundle.graph.numNodes();
 
+    // Skewed target selection (cache-tier experiments): Zipf ranks
+    // map to node ids directly, so low ids are the hot set. θ = 0
+    // keeps the exact historical uniform draw sequence.
+    std::unique_ptr<sim::ZipfSampler> zipf;
+    if (run.zipfTheta > 0.0)
+        zipf = std::make_unique<sim::ZipfSampler>(run.zipfTheta,
+                                                  n_nodes);
+
     for (std::uint32_t batch = 0; batch < run.batches; ++batch) {
         std::vector<graph::NodeId> targets(run.batchSize);
         for (auto &t : targets)
-            t = rng.below(n_nodes);
+            t = zipf ? static_cast<graph::NodeId>(zipf->draw(rng))
+                     : rng.below(n_nodes);
         session.runBatch(session.prepFree(), targets);
     }
     RunResult res = session.finish();

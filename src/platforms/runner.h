@@ -20,6 +20,7 @@
 #include <string>
 
 #include "accel/accelerator.h"
+#include "cache/vertex_cache.h"
 #include "energy/energy.h"
 #include "graph/dataset.h"
 #include "platforms/platform.h"
@@ -85,6 +86,13 @@ struct RunConfig
      *  plain platform; devices > 1 shards the graph across an array
      *  of identical SSDs (streaming platforms only). */
     TopologyConfig topology{};
+    /** Device-DRAM vertex/feature cache tier, per device (DESIGN.md
+     *  §14). Disabled by default — capacityMB = 0 builds no cache and
+     *  stays byte-identical to the historical cache-less runs. */
+    cache::CacheConfig cache{};
+    /** Zipf(θ) skew of runPlatform's target draws; 0 (default) keeps
+     *  the historical uniform stream. Hot set = low node ids. */
+    double zipfTheta = 0.0;
 };
 
 /** Everything measured in one run. */

@@ -1,9 +1,11 @@
 #include "serve/arrival.h"
 
 #include <cmath>
+#include <memory>
 
 #include "sim/log.h"
 #include "sim/rng.h"
+#include "sim/zipf.h"
 
 namespace beacongnn::serve {
 
@@ -53,6 +55,14 @@ generateArrivals(const ArrivalConfig &cfg, graph::NodeId numNodes)
     sim::Pcg32 rng(cfg.seed, 0x0A51);
     std::vector<Request> out;
     out.reserve(cfg.requests);
+
+    // Skewed target popularity (θ > 0): one uniform per draw, exactly
+    // like the historical rng.below() path, so the rest of the stream
+    // (gaps, tenants) is unchanged by the distribution choice.
+    std::unique_ptr<sim::ZipfSampler> zipf;
+    if (cfg.zipfTheta > 0.0)
+        zipf = std::make_unique<sim::ZipfSampler>(cfg.zipfTheta,
+                                                  numNodes);
 
     // Mean inter-arrival gap at the long-run rate, in ticks.
     const double mean_gap = 1e9 / cfg.ratePerSec;
@@ -111,7 +121,8 @@ generateArrivals(const ArrivalConfig &cfg, graph::NodeId numNodes)
         r.arrival = now;
         r.tenant = cfg.tenants ? rng.below(cfg.tenants) : 0;
         r.qos = static_cast<QosClass>(r.tenant % kQosClasses);
-        r.target = rng.below(numNodes);
+        r.target = zipf ? static_cast<graph::NodeId>(zipf->draw(rng))
+                        : rng.below(numNodes);
         out.push_back(r);
     }
     return out;

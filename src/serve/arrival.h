@@ -47,13 +47,19 @@ struct ArrivalConfig
     double burstFraction = 0.1;
     /** Bursty process: mean burst residency. */
     sim::Tick burstMeanTicks = sim::milliseconds(2);
+
+    /** Zipf(θ) skew of the target popularity distribution; 0
+     *  (default) keeps the historical uniform targets. Rank k maps to
+     *  node id k, so the hot set is the low node ids. */
+    double zipfTheta = 0.0;
 };
 
 /**
  * Generate the request stream: arrival times are nondecreasing, ids
  * are sequential in arrival order, targets are uniform over
- * [0, numNodes), and tenants round through the configured count with
- * QoS class = tenant % kQosClasses.
+ * [0, numNodes) (Zipf(θ)-skewed when zipfTheta > 0), and tenants
+ * round through the configured count with QoS class =
+ * tenant % kQosClasses.
  */
 std::vector<Request> generateArrivals(const ArrivalConfig &cfg,
                                       graph::NodeId numNodes);

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Seeded Zipf(θ) rank sampler.
+ *
+ * Serving traffic against power-law graphs concentrates on a small
+ * hot set; the cache tier (src/cache) is evaluated under exactly that
+ * skew. Rank k (0-based) is drawn with probability proportional to
+ * 1/(k+1)^θ — θ → 0 approaches uniform, θ ≈ 1 is the classic web/
+ * graph access skew. The caller maps ranks to node ids (the repo
+ * convention is the identity map, making low node ids the hot set,
+ * which is deterministic and partition-policy friendly).
+ *
+ * Determinism: the CDF is a pure function of (θ, n) and each draw()
+ * consumes exactly one value from the caller's Pcg32, so a given
+ * (seed, θ, n) triple always yields byte-identical rank streams —
+ * across runs and across worker counts (DESIGN.md §14).
+ */
+
+#ifndef BEACONGNN_SIM_ZIPF_H
+#define BEACONGNN_SIM_ZIPF_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "sim/log.h"
+#include "sim/rng.h"
+
+namespace beacongnn::sim {
+
+/** Zipf(θ) sampler over ranks [0, n). */
+class ZipfSampler
+{
+  public:
+    /**
+     * Build the cumulative distribution (O(n) once; draws are
+     * O(log n) binary searches).
+     *
+     * @param theta Skew exponent; must be positive (use the plain
+     *              uniform path for unskewed streams).
+     * @param n     Rank universe size; must be nonzero.
+     */
+    ZipfSampler(double theta, std::uint64_t n) : _theta(theta)
+    {
+        if (!(theta > 0.0))
+            fatal("ZipfSampler: theta must be positive");
+        if (n == 0)
+            fatal("ZipfSampler: empty rank universe");
+        _cdf.resize(n);
+        double cum = 0.0;
+        for (std::uint64_t k = 0; k < n; ++k) {
+            cum += std::pow(static_cast<double>(k + 1), -theta);
+            _cdf[k] = cum;
+        }
+    }
+
+    /** Draw one rank in [0, n); consumes one uniform from @p rng. */
+    std::uint64_t
+    draw(Pcg32 &rng) const
+    {
+        double u = rng.uniform() * _cdf.back();
+        auto it = std::lower_bound(_cdf.begin(), _cdf.end(), u);
+        if (it == _cdf.end())
+            --it; // uniform() < 1, but guard the fp edge anyway.
+        return static_cast<std::uint64_t>(it - _cdf.begin());
+    }
+
+    double theta() const { return _theta; }
+    std::uint64_t ranks() const { return _cdf.size(); }
+
+  private:
+    double _theta;
+    /** Unnormalized cumulative weights of ranks 0..n-1. */
+    std::vector<double> _cdf;
+};
+
+} // namespace beacongnn::sim
+
+#endif // BEACONGNN_SIM_ZIPF_H

@@ -280,6 +280,44 @@ void publish(Reg &reg) {
     EXPECT_EQ(got, want);
 }
 
+TEST(Bgn004, CacheNamespaceLeavesClosed)
+{
+    // The cache tier (DESIGN.md §14) publishes a closed leaf set
+    // under engine.cache.* and array.dev<D>.cache.* — every leaf is
+    // accepted, and a misspelled leaf, a bare "cache", or extra
+    // nesting under it fails lint.
+    auto fs = lintOne("src/platforms/cache_ok.cc", R"cpp(
+void publish(Reg &reg) {
+    reg.counter("engine.cache.hits").add(1);
+    reg.counter("engine.cache.misses").add(1);
+    reg.counter("engine.cache.fills").add(1);
+    reg.counter("engine.cache.evictions").add(1);
+    reg.counter("engine.cache.bytes").add(4096);
+    reg.gauge("engine.cache.hit_rate").set(0.5);
+    reg.counter("array.dev3.cache.hits").add(1);
+    reg.gauge("array.dev3.cache.hit_rate").set(0.5);
+}
+)cpp");
+    EXPECT_TRUE(fs.empty());
+
+    auto bad = lintOne("src/platforms/cache_bad.cc", R"cpp(
+void publish(Reg &reg) {
+    reg.counter("engine.cache.hitz").add(1);
+    reg.counter("engine.cache").add(1);
+    reg.counter("engine.cache.hits.total").add(1);
+    reg.gauge("array.dev0.cache.hit_ratio").set(0.5);
+}
+)cpp");
+    auto got = ruleLines(bad);
+    std::vector<std::pair<std::string, int>> want = {
+        {"BGN004", 3}, // unknown leaf 'hitz'
+        {"BGN004", 4}, // bare cache namespace
+        {"BGN004", 5}, // extra nesting below a leaf
+        {"BGN004", 6}, // 'hit_ratio' is not 'hit_rate'
+    };
+    EXPECT_EQ(got, want);
+}
+
 TEST(Bgn004, DynamicNamesAreNotChecked)
 {
     // Prefix-built names can't be validated statically — no finding.

@@ -433,6 +433,12 @@ const std::set<std::string> kRegistryAccessors = {
 const std::set<std::string> kMetricRoots = {
     "flash", "ssd", "engine", "accel", "energy", "serve", "run",
     "array"};
+// The cache namespace (engine.cache.*, array.devD.cache.*) has a
+// closed leaf set: a "cache" segment must be followed by exactly one
+// of these, so a misspelled cache metric fails lint instead of
+// silently forking the namespace.
+const std::set<std::string> kCacheLeaves = {
+    "hits", "misses", "fills", "evictions", "bytes", "hit_rate"};
 
 bool
 metricNameOk(const std::string &s)
@@ -459,6 +465,13 @@ metricNameOk(const std::string &s)
                   c == '_'))
                 return false;
     }
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        if (parts[i] != "cache")
+            continue;
+        // "cache" must be second-to-last with a known leaf.
+        if (i + 2 != parts.size() || !kCacheLeaves.count(parts[i + 1]))
+            return false;
+    }
     return true;
 }
 
@@ -481,7 +494,9 @@ Linter::rule004(const FileContext &ctx)
                  "metric name \"" + name +
                      "\" violates the §10 grammar: "
                      "(flash|ssd|engine|accel|energy|serve|run|array)"
-                     ".lower_snake[.lower_snake...]");
+                     ".lower_snake[.lower_snake...]; a cache segment "
+                     "takes exactly one leaf of hits|misses|fills|"
+                     "evictions|bytes|hit_rate");
     }
 }
 

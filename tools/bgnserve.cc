@@ -65,6 +65,12 @@ usage(const char *argv0, int status = 2)
         "parallel simulator's lookahead)\n"
         "  --partition NAME    hash|range|balanced graph partition "
         "(default hash)\n"
+        "  --cache-mb X        per-device DRAM vertex cache capacity "
+        "in MiB (default 0 = off)\n"
+        "  --cache-policy NAME lru|mslru|fifo eviction policy "
+        "(default lru)\n"
+        "  --zipf-theta X      Zipf(theta) skew of request targets "
+        "(default 0 = uniform)\n"
         "  --channels N / --dies N   SSD geometry\n"
         "  --jobs N            parallel workers: sweep points, and the "
         "device queues within one multi-device run\n"
@@ -168,6 +174,37 @@ main(int argc, char **argv)
                 return 2;
             }
             rc.topology.partition = *p;
+        }
+        else if (a == "--cache-mb") {
+            rc.cache.capacityMB = std::strtod(next(), nullptr);
+            if (rc.cache.capacityMB <= 0.0) {
+                std::fprintf(stderr,
+                             "bgnserve: --cache-mb must be positive "
+                             "(omit the flag to disable the cache)\n");
+                return 2;
+            }
+        }
+        else if (a == "--cache-policy") {
+            std::string n = next();
+            auto p = cache::findCachePolicy(n);
+            if (!p) {
+                std::fprintf(stderr,
+                             "bgnserve: unknown cache policy '%s' "
+                             "(valid: %s)\n",
+                             n.c_str(),
+                             cache::cachePolicyList().c_str());
+                return 2;
+            }
+            rc.cache.policy = *p;
+        }
+        else if (a == "--zipf-theta") {
+            sc.arrivals.zipfTheta = std::strtod(next(), nullptr);
+            if (sc.arrivals.zipfTheta <= 0.0) {
+                std::fprintf(stderr,
+                             "bgnserve: --zipf-theta must be positive "
+                             "(omit the flag for uniform targets)\n");
+                return 2;
+            }
         }
         else if (a == "--channels") rc.system.flash.channels =
             static_cast<unsigned>(std::strtoul(next(), nullptr, 10));

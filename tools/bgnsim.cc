@@ -75,6 +75,12 @@ usage(const char *argv0)
         "                      simulator's lookahead — 0 serializes)\n"
         "  --partition NAME    hash|range|balanced graph partition "
         "(default hash)\n"
+        "  --cache-mb X        per-device DRAM vertex cache capacity "
+        "in MiB (default 0 = off)\n"
+        "  --cache-policy NAME lru|mslru|fifo eviction policy "
+        "(default lru)\n"
+        "  --zipf-theta X      Zipf(theta) skew of the target stream "
+        "(default 0 = uniform)\n"
         "  --trace-util        collect utilization series\n"
         "  --csv FILE          append a CSV result row to FILE\n"
         "  --metrics FILE      dump every instrument as JSON\n"
@@ -170,6 +176,37 @@ main(int argc, char **argv)
                 return 2;
             }
             rc.topology.partition = *p;
+        }
+        else if (a == "--cache-mb") {
+            rc.cache.capacityMB = std::strtod(next(), nullptr);
+            if (rc.cache.capacityMB <= 0.0) {
+                std::fprintf(stderr,
+                             "bgnsim: --cache-mb must be positive "
+                             "(omit the flag to disable the cache)\n");
+                return 2;
+            }
+        }
+        else if (a == "--cache-policy") {
+            std::string n = next();
+            auto p = cache::findCachePolicy(n);
+            if (!p) {
+                std::fprintf(stderr,
+                             "bgnsim: unknown cache policy '%s' "
+                             "(valid: %s)\n",
+                             n.c_str(),
+                             cache::cachePolicyList().c_str());
+                return 2;
+            }
+            rc.cache.policy = *p;
+        }
+        else if (a == "--zipf-theta") {
+            rc.zipfTheta = std::strtod(next(), nullptr);
+            if (rc.zipfTheta <= 0.0) {
+                std::fprintf(stderr,
+                             "bgnsim: --zipf-theta must be positive "
+                             "(omit the flag for uniform targets)\n");
+                return 2;
+            }
         }
         else if (a == "--jobs") {
             long v = std::strtol(next(), nullptr, 10);
