@@ -65,15 +65,20 @@ class Accelerator
             e.macs += ge.macs;
             e.sramBytes += ge.sramReadBytes + ge.sramWriteBytes;
         }
-        e.vectorOps = w.aggregateElements;
+        // Per-edge model work (GAT attention, GIN epsilon scaling)
+        // shares the 1-D vector array with the plain aggregation; the
+        // gcn workload has edgeOps == 0 and times exactly as before.
+        const std::uint64_t vec_elems =
+            w.aggregateElements + w.edgeOps;
+        e.vectorOps = vec_elems;
         if (cfg.vectorLanes > 0 && cfg.vectorFreqGHz > 0.0) {
             std::uint64_t cycles =
-                (w.aggregateElements + cfg.vectorLanes - 1) /
+                (vec_elems + cfg.vectorLanes - 1) /
                 cfg.vectorLanes;
             e.aggregateTime = static_cast<sim::Tick>(
                 static_cast<double>(cycles) / cfg.vectorFreqGHz);
         }
-        e.sramBytes += w.aggregateElements * 2; // FP16 operand reads.
+        e.sramBytes += vec_elems * 2; // FP16 operand reads.
         return e;
     }
 

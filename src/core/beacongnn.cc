@@ -34,10 +34,7 @@ BeaconGnnSystem::BeaconGnnSystem(graph::Graph g,
     auto blocks = _host->getBlockList(0, want);
     if (blocks.empty())
         sim::fatal("BeaconGnnSystem: device too small for this graph");
-    _host->setGnnConfig(
-        0, flash::GnnGlobalConfig{opts.model.hops, opts.model.fanout,
-                                  opts.model.featureDim, 2,
-                                  opts.model.seed});
+    _host->setGnnConfig(0, engines::gnnGlobalConfig(opts.model));
 
     _layout = dg::buildLayout(_graph, _features, opts.system.flash,
                               blocks);

@@ -43,8 +43,11 @@ DieSampler::executeImpl(const std::optional<dg::SectionData> &section,
             c.params.finalHop = true;
             c.params.sampleCount = 0;
         } else {
-            c.params.sampleCount = gcfg.fanout;
+            c.params.sampleCount = gcfg.fanoutAt(c.params.hop);
         }
+        // Attention models ship a per-edge coefficient beside each
+        // next-hop sample (computed by the sampler's vector unit).
+        res.edgeCoeffBytes += gcfg.edgeCoeffBytes;
         res.follow.push_back(c);
     };
 

@@ -27,10 +27,27 @@
 
 #include "directgraph/source.h"
 #include "flash/onfi.h"
+#include "gnn/model.h"
 #include "sim/metrics.h"
 #include "ssd/config.h"
 
 namespace beacongnn::engines {
+
+/** Global die configuration derived from a model spec: sampling
+ *  schedule, feature geometry and per-edge payload width. */
+inline flash::GnnGlobalConfig
+gnnGlobalConfig(const gnn::ModelSpec &m)
+{
+    flash::GnnGlobalConfig cfg;
+    cfg.hops = m.hops;
+    cfg.fanout = m.fanout;
+    cfg.featureDim = m.featureDim;
+    cfg.featureBytesPerElem = 2;
+    cfg.seed = m.seed;
+    cfg.fanouts = m.fanouts;
+    cfg.edgeCoeffBytes = static_cast<std::uint8_t>(m.edgeCoeffBytes());
+    return cfg;
+}
 
 /** Behavioural options (ablations). */
 struct DieSamplerOptions
@@ -52,6 +69,13 @@ class DieSampler
     }
 
     const flash::GnnGlobalConfig &gnnConfig() const { return gcfg; }
+
+    /** Re-arm the die with a new global configuration (model switch;
+     *  the engine re-broadcasts the config frame afterwards). */
+    void setGnnConfig(const flash::GnnGlobalConfig &gnn_cfg)
+    {
+        gcfg = gnn_cfg;
+    }
 
     /**
      * Execute one sampling command against a decoded section.

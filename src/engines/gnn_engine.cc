@@ -255,9 +255,7 @@ GnnEngine::GnnEngine(sim::EventQueue &queue_,
                      const dg::SectionSource &source_)
     : queue(queue_),
       ownedSampler(std::make_unique<DieSampler>(
-          firmware.config().engine,
-          flash::GnnGlobalConfig{model_.hops, model_.fanout,
-                                 model_.featureDim, 2, model_.seed},
+          firmware.config().engine, gnnGlobalConfig(model_),
           DieSamplerOptions{flags.coalesceSecondary})),
       ownedRouter(flags.hwRouter
                       ? std::make_unique<CommandRouter>(
@@ -576,7 +574,10 @@ GnnEngine::broadcastConfig(sim::Tick start)
     // Every device of an array broadcasts concurrently, and the
     // devices are identical, so one device's completion is the array's.
     const auto &cfg = ports[0].backend->config();
-    const std::uint32_t frame = 16; // hops/fanout/dim/seed parameters.
+    // hops/fanout/dim/seed parameters; a non-uniform fanout schedule
+    // appends one byte per hop to the frame.
+    const std::uint32_t frame =
+        16 + (model.uniformFanout() ? 0u : std::uint32_t{model.hops});
     sim::Tick done = start;
     for (unsigned ch = 0; ch < cfg.channels; ++ch) {
         sim::Tick t = start;
@@ -587,6 +588,21 @@ GnnEngine::broadcastConfig(sim::Tick start)
     }
     configDone = done;
     return configDone;
+}
+
+void
+GnnEngine::setModel(const gnn::ModelConfig &m)
+{
+    if (m == model)
+        return;
+    model = m;
+    const flash::GnnGlobalConfig cfg = gnnGlobalConfig(m);
+    for (DevicePort &p : ports)
+        if (p.sampler)
+            p.sampler->setGnnConfig(cfg);
+    // The dies must learn the new parameters: re-arm the config
+    // broadcast so the next batch pays it again.
+    configDone = 0;
 }
 
 // ====================================================================
@@ -608,7 +624,7 @@ GnnEngine::targetParams(const Batch &b, graph::NodeId node) const
         p.finalHop = true;
         p.sampleCount = 0;
     } else {
-        p.sampleCount = model.fanout;
+        p.sampleCount = model.fanoutAt(0);
     }
     p.nodeHint = node;
     return p;
@@ -1204,7 +1220,8 @@ GnnEngine::runHop(const std::shared_ptr<Batch> &b, unsigned hop,
             p.hop = static_cast<std::uint8_t>(std::min<unsigned>(hop, 255));
             p.batchId = static_cast<std::uint32_t>(b->id);
             p.retrieveFeature = true; // Co-located format (see above).
-            p.sampleCount = model.fanout;
+            p.sampleCount = model.fanoutAt(
+                static_cast<unsigned>(std::min<unsigned>(hop, 255)));
 
             auto section = source.fetch(primary);
             flash::GnnSampleResult r = sampler.execute(section, p);
@@ -1254,7 +1271,9 @@ GnnEngine::runHop(const std::shared_ptr<Batch> &b, unsigned hop,
             // Functional sampling: plain uniform draws over the full
             // neighbour list (csrSample semantics).
             if (nl.degree > 0) {
-                for (std::uint8_t i = 0; i < model.fanout; ++i) {
+                const std::uint8_t fan = model.fanoutAt(
+                    static_cast<unsigned>(std::min<unsigned>(hop, 255)));
+                for (std::uint8_t i = 0; i < fan; ++i) {
                     auto r = static_cast<std::uint32_t>(sim::keyedBelow(
                         model.seed, b->id,
                         static_cast<std::uint8_t>(hop), v.node, i,

@@ -257,6 +257,17 @@ class GnnEngine
 
     const PrepFlags &flags() const { return _flags; }
 
+    /** Active model spec. */
+    const gnn::ModelConfig &modelSpec() const { return model; }
+
+    /**
+     * Switch the engine (and every attached die sampler) to a new
+     * model spec between batches. Die-sampling pipelines re-broadcast
+     * the global configuration frame before the next batch, exactly
+     * as on first use. Call only when no batch is in flight.
+     */
+    void setModel(const gnn::ModelConfig &m);
+
     /** Time at which the global GNN configuration finished
      *  broadcasting to every die (0 before the first batch). */
     sim::Tick configuredAt() const { return configDone; }

@@ -37,11 +37,26 @@ struct GnnGlobalConfig
     std::uint16_t featureDim = 128; ///< Feature vector length (elements).
     std::uint8_t featureBytesPerElem = 2; ///< FP16 features.
     std::uint64_t seed = 1;         ///< Sampling seed (models TRNG seeding).
+    /** Per-hop fanout schedule (empty = uniform `fanout`); one extra
+     *  config byte per hop on the broadcast frame when present. */
+    std::vector<std::uint8_t> fanouts;
+    /** Per-edge coefficient payload (attention models); widens each
+     *  emitted next-hop edge in the result frame. Zero = none. */
+    std::uint8_t edgeCoeffBytes = 0;
 
     std::uint32_t
     featureBytes() const
     {
         return std::uint32_t{featureDim} * featureBytesPerElem;
+    }
+
+    /** Samples per node at hop @p h. */
+    std::uint8_t
+    fanoutAt(unsigned h) const
+    {
+        if (fanouts.empty())
+            return fanout;
+        return h < fanouts.size() ? fanouts[h] : fanouts.back();
     }
 };
 
@@ -100,6 +115,9 @@ struct GnnSampleResult
     std::vector<std::uint64_t> sampledNodes;
     /** Follow-up commands to route (next-hop / secondary reads). */
     std::vector<EmittedCommand> follow;
+    /** Per-edge coefficient payload bytes (GAT attention logits
+     *  computed beside the sampler); zero for sum-style models. */
+    std::uint32_t edgeCoeffBytes = 0;
 
     /** Frame size on the channel bus, in bytes (header = 16 B). */
     std::uint32_t
@@ -110,6 +128,7 @@ struct GnnSampleResult
             b += featureBytes;
         b += static_cast<std::uint32_t>(sampledNodes.size()) * 4;
         b += static_cast<std::uint32_t>(follow.size()) * 12;
+        b += edgeCoeffBytes;
         return b;
     }
 };

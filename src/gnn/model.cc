@@ -1,0 +1,152 @@
+#include "gnn/model.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace beacongnn::gnn {
+
+namespace {
+
+bool
+iequals(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    return true;
+}
+
+constexpr ModelKind kModelKinds[] = {ModelKind::GCN, ModelKind::GIN,
+                                     ModelKind::GAT};
+
+} // namespace
+
+const char *
+modelKindName(ModelKind k)
+{
+    switch (k) {
+    case ModelKind::GCN:
+        return "gcn";
+    case ModelKind::GIN:
+        return "gin";
+    case ModelKind::GAT:
+        return "gat";
+    }
+    return "?";
+}
+
+std::optional<ModelKind>
+findModelKind(std::string_view name)
+{
+    for (ModelKind k : kModelKinds)
+        if (iequals(name, modelKindName(k)))
+            return k;
+    return std::nullopt;
+}
+
+std::string
+modelKindList()
+{
+    std::string out;
+    for (ModelKind k : kModelKinds) {
+        if (!out.empty())
+            out += ", ";
+        out += modelKindName(k);
+    }
+    return out;
+}
+
+void
+ModelSpec::normalizeFanouts()
+{
+    if (fanouts.empty())
+        return;
+    const bool uniform = std::all_of(
+        fanouts.begin(), fanouts.end(),
+        [&](std::uint8_t f) { return f == fanouts.front(); });
+    if (uniform) {
+        fanout = fanouts.front();
+        fanouts.clear();
+    }
+}
+
+std::optional<std::vector<std::uint8_t>>
+parseFanouts(std::string_view list)
+{
+    std::vector<std::uint8_t> out;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        const std::size_t comma = std::min(list.find(',', pos), list.size());
+        const std::string_view item = list.substr(pos, comma - pos);
+        if (item.empty())
+            return std::nullopt;
+        unsigned value = 0;
+        for (char c : item) {
+            if (!std::isdigit(static_cast<unsigned char>(c)))
+                return std::nullopt;
+            value = value * 10 + unsigned(c - '0');
+            if (value > 255)
+                return std::nullopt;
+        }
+        if (value == 0)
+            return std::nullopt;
+        out.push_back(static_cast<std::uint8_t>(value));
+        if (comma == list.size())
+            break;
+        pos = comma + 1;
+    }
+    if (out.empty() || out.size() > 255)
+        return std::nullopt;
+    return out;
+}
+
+ComputeWorkload
+ModelSpec::workFor(std::uint32_t batch_size) const
+{
+    ComputeWorkload w;
+    for (unsigned l = 1; l <= hops; ++l) {
+        const unsigned max_hop = hops - l;
+        GemmShape g;
+        g.m = std::uint64_t(batch_size) * nodesThroughHop(max_hop);
+        g.n = hiddenDim;
+        g.k = (l == 1) ? featureDim : hiddenDim;
+
+        // Per-hop aggregation demand: a hop-h node sums fanoutAt(h)
+        // children plus itself. With a uniform schedule this equals
+        // the historical g.m * (fanout + 1) * g.k.
+        std::uint64_t children = 0;
+        for (unsigned h = 0; h <= max_hop; ++h) {
+            const std::uint64_t level =
+                std::uint64_t(batch_size) * nodesAtHop(h);
+            w.aggregateElements += level * (fanoutAt(h) + 1u) * g.k;
+            children += level * fanoutAt(h);
+        }
+
+        switch (kind) {
+        case ModelKind::GCN:
+            w.gemms.push_back(g);
+            break;
+        case ModelKind::GIN: {
+            // Two-layer MLP combine plus epsilon scaling of the
+            // self term.
+            w.gemms.push_back(g);
+            GemmShape g2{g.m, hiddenDim, hiddenDim};
+            w.gemms.push_back(g2);
+            w.edgeOps += g.m * g.k;
+            break;
+        }
+        case ModelKind::GAT:
+            // Attention: per-edge coefficient math over the input
+            // dimension plus the softmax normalization per edge.
+            w.gemms.push_back(g);
+            w.edgeOps += std::uint64_t(heads) * children * (g.k + 2u);
+            break;
+        }
+    }
+    return w;
+}
+
+} // namespace beacongnn::gnn

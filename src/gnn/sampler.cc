@@ -81,8 +81,9 @@ csrSample(const graph::Graph &g, const ModelConfig &m, std::uint64_t batch,
         std::uint32_t deg = g.degree(v);
         if (deg == 0)
             return out;
-        out.reserve(m.fanout);
-        for (std::uint8_t i = 0; i < m.fanout; ++i) {
+        const std::uint8_t fan = m.fanoutAt(hop);
+        out.reserve(fan);
+        for (std::uint8_t i = 0; i < fan; ++i) {
             auto r = static_cast<std::uint32_t>(
                 sim::keyedBelow(m.seed, batch, hop, v, i, deg));
             out.push_back(g.neighbor(v, r));
@@ -106,9 +107,10 @@ layoutSample(const graph::Graph &g, const dg::DirectGraphLayout &layout,
         const dg::NodeLayout &nl = layout.nodes[v];
         if (nl.degree == 0)
             return out;
-        PrimaryDraws d = drawPrimary(m.seed, batch, hop, v, m.fanout,
+        const std::uint8_t fan = m.fanoutAt(hop);
+        PrimaryDraws d = drawPrimary(m.seed, batch, hop, v, fan,
                                      nl.degree, nl.inPage, nl.secondaries);
-        out.reserve(m.fanout);
+        out.reserve(fan);
         for (std::uint32_t r : d.inPagePicks)
             out.push_back(g.neighbor(v, r));
         for (std::size_t j = 0; j < d.secondaryHits.size(); ++j) {

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Classical graph algorithms as vertex programs over the in-storage
+ * engines. A VertexProgram exposes the per-superstep *frontier* — the
+ * vertices whose state the next superstep must read from flash — and
+ * a step() that folds the fetched state into per-vertex values until
+ * convergence. The platform driver (platforms/algo_runner) turns each
+ * frontier into feature-retrieval batches on the same sampling /
+ * streaming pipelines the GNN models use, replacing the fixed-K-hop
+ * loop with iterate-until-convergence.
+ */
+
+#ifndef BEACONGNN_GNN_VERTEX_PROGRAM_H
+#define BEACONGNN_GNN_VERTEX_PROGRAM_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace beacongnn::gnn {
+
+/** Vertex programs of the algorithm zoo. */
+enum class AlgoKind : std::uint8_t
+{
+    PageRank, ///< Pull-based damped PageRank to an L1 tolerance.
+    Bfs,      ///< Breadth-first distances from a source vertex.
+    KCore,    ///< Iterative k-core peeling.
+};
+
+/** Display name of an algorithm ("pagerank"). */
+const char *algoKindName(AlgoKind k);
+
+/** Case-insensitive lookup; nullopt for unknown names. */
+std::optional<AlgoKind> findAlgoKind(std::string_view name);
+
+/** Comma-separated valid algorithm names (for CLI error messages). */
+std::string algoKindList();
+
+/** Static parameters of a vertex-program run. */
+struct VertexProgramConfig
+{
+    AlgoKind algo = AlgoKind::PageRank;
+    std::uint32_t maxIters = 50; ///< Superstep cap (safety net).
+    double tolerance = 1e-4;     ///< PageRank total L1 residual.
+    double damping = 0.85;       ///< PageRank damping factor.
+    graph::NodeId source = 0;    ///< BFS source vertex.
+    std::uint32_t k = 3;         ///< k-core threshold.
+};
+
+/**
+ * One iterate-until-convergence graph algorithm. Contract: call
+ * init() once, then alternate frontier() (the vertices whose state
+ * superstep i reads — what the driver fetches from flash) and step()
+ * (fold that state; returns true once converged, after which
+ * frontier() is empty and step() must not be called again).
+ */
+class VertexProgram
+{
+  public:
+    virtual ~VertexProgram() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Reset all per-vertex state for @p g. */
+    virtual void init(const graph::Graph &g) = 0;
+
+    /** Vertices the next superstep must read from storage. */
+    virtual const std::vector<graph::NodeId> &frontier() const = 0;
+
+    /** Run one superstep. @return true when converged. */
+    virtual bool step(const graph::Graph &g) = 0;
+
+    /** Per-vertex result values (rank / distance / core flag). */
+    virtual const std::vector<double> &values() const = 0;
+};
+
+/** Build the program selected by @p cfg. */
+std::unique_ptr<VertexProgram>
+makeVertexProgram(const VertexProgramConfig &cfg);
+
+} // namespace beacongnn::gnn
+
+#endif // BEACONGNN_GNN_VERTEX_PROGRAM_H

@@ -1,0 +1,80 @@
+#include "platforms/algo_runner.h"
+
+#include <algorithm>
+
+namespace beacongnn::platforms {
+
+AlgoRunResult
+runVertexProgram(const PlatformConfig &platform, const RunConfig &run,
+                 const WorkloadBundle &bundle, const AlgoRunConfig &algo,
+                 sim::MetricRegistry *metrics)
+{
+    AlgoRunResult res;
+    res.platform = platform.name;
+    res.workload = bundle.name;
+
+    std::unique_ptr<gnn::VertexProgram> program =
+        gnn::makeVertexProgram(algo.program);
+    res.algo = program->name();
+
+    // Vertex state retrieval = a zero-hop model over the bundle's
+    // layout: every frontier vertex costs one in-storage command that
+    // returns its co-located feature section (the per-vertex state),
+    // with no sampling fan-out.
+    RunConfig rc = run;
+    gnn::ModelSpec retrieval = bundle.model;
+    retrieval.kind = gnn::ModelKind::GCN;
+    retrieval.hops = 0;
+    retrieval.fanouts.clear();
+    rc.model = retrieval;
+
+    PlatformSession session(platform, rc, bundle);
+    const std::uint32_t chunk = std::max(1u, rc.batchSize);
+
+    program->init(bundle.graph);
+    bool converged = bundle.graph.numNodes() == 0 ||
+                     program->frontier().empty();
+    std::uint32_t iters = 0;
+    while (!converged && iters < algo.program.maxIters) {
+        // One superstep: stream the frontier's state from flash in
+        // batch-size chunks on the serial prep pipeline...
+        const std::vector<graph::NodeId> &frontier = program->frontier();
+        res.frontierNodes += frontier.size();
+        for (std::size_t at = 0; at < frontier.size(); at += chunk) {
+            const std::size_t n =
+                std::min<std::size_t>(chunk, frontier.size() - at);
+            session.runBatch(session.prepFree(),
+                             std::span<const graph::NodeId>(
+                                 frontier.data() + at, n));
+        }
+        // ...then fold it host-side and test convergence.
+        converged = program->step(bundle.graph);
+        ++iters;
+    }
+    res.converged = converged;
+    res.iterations = iters;
+    for (double v : program->values())
+        res.checksum += v;
+
+    RunResult rr = session.finish();
+    res.ok = rr.ok;
+    res.devices = rr.devices;
+    res.totalTime = rr.totalTime;
+    res.throughput = rr.totalTime == 0
+                         ? 0.0
+                         : static_cast<double>(res.frontierNodes) /
+                               sim::toSeconds(rr.totalTime);
+
+    if (metrics) {
+        metrics->merge(session.metrics());
+        metrics->counter("model.algo.iterations").add(res.iterations);
+        metrics->counter("model.algo.frontier_nodes")
+            .add(res.frontierNodes);
+        metrics->gauge("model.algo.converged")
+            .set(res.converged ? 1.0 : 0.0);
+        metrics->gauge("model.algo.checksum").set(res.checksum);
+    }
+    return res;
+}
+
+} // namespace beacongnn::platforms

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Iterate-until-convergence driver for vertex programs: replaces the
+ * fixed-K-hop GNN loop with supersteps. Each superstep turns the
+ * program's frontier into feature-retrieval mini-batches (a hops = 0
+ * model spec — one in-storage command per frontier vertex, streamed
+ * or barriered exactly like GNN feature fetches on the selected
+ * platform), then folds the state host-side and asks the program
+ * whether it converged. Timing comes entirely from the same platform
+ * session the GNN models use, so CC vs BG-2 comparisons carry over
+ * to classical graph algorithms.
+ */
+
+#ifndef BEACONGNN_PLATFORMS_ALGO_RUNNER_H
+#define BEACONGNN_PLATFORMS_ALGO_RUNNER_H
+
+#include "gnn/vertex_program.h"
+#include "platforms/runner.h"
+
+namespace beacongnn::platforms {
+
+/** Parameters of one vertex-program run. */
+struct AlgoRunConfig
+{
+    gnn::VertexProgramConfig program;
+};
+
+/** Everything measured in one vertex-program run. */
+struct AlgoRunResult
+{
+    std::string platform;
+    std::string workload;
+    std::string algo;
+    bool ok = true;
+    bool converged = false;
+    std::uint32_t iterations = 0;   ///< Supersteps executed.
+    std::uint64_t frontierNodes = 0; ///< Vertex states read from flash.
+    sim::Tick totalTime = 0;        ///< Last superstep drain.
+    double throughput = 0;          ///< Frontier vertices per second.
+    double checksum = 0;            ///< Sum of per-vertex values.
+    unsigned devices = 1;
+};
+
+/**
+ * Run @p algo on one platform until convergence (or the superstep
+ * cap). Batch size / topology / cache come from @p run; the model
+ * override is replaced by the driver's hops = 0 retrieval spec.
+ * @param metrics When non-null, receives the session registry plus
+ *                `model.algo.*` instruments.
+ */
+AlgoRunResult runVertexProgram(const PlatformConfig &platform,
+                               const RunConfig &run,
+                               const WorkloadBundle &bundle,
+                               const AlgoRunConfig &algo,
+                               sim::MetricRegistry *metrics = nullptr);
+
+} // namespace beacongnn::platforms
+
+#endif // BEACONGNN_PLATFORMS_ALGO_RUNNER_H

@@ -17,9 +17,7 @@ DeviceContext::DeviceContext(const PlatformConfig &platform,
                              const cache::CacheConfig &cache_cfg)
     : _index(index), _backend(system.flash, trace_utilization),
       _fw(system),
-      _sampler(system.engine,
-               flash::GnnGlobalConfig{model.hops, model.fanout,
-                                      model.featureDim, 2, model.seed},
+      _sampler(system.engine, engines::gnnGlobalConfig(model),
                engines::DieSamplerOptions{platform.flags.coalesceSecondary}),
       _accel(platform.ssdCompute ? accel::ssdAcceleratorConfig()
                                  : accel::discreteTpuConfig())

@@ -79,13 +79,17 @@ struct PlatformSession::Impl
     sim::Tick prepFree = 0;
     sim::Tick lastComputeEnd = 0;
     std::uint32_t batches = 0;
+    /** Model spec the next batch runs (bundle model unless overridden
+     *  by RunConfig::model or a per-batch runBatch() spec). */
+    gnn::ModelSpec active;
     /** Per-device tallies summed over batches. */
     std::vector<engines::DeviceTally> devTallies;
     std::uint64_t crossDeviceTotal = 0;
 
     Impl(const PlatformConfig &p, const RunConfig &r,
          const WorkloadBundle &b)
-        : platform(p), run(r), bundle(b)
+        : platform(p), run(r), bundle(b),
+          active(r.model ? *r.model : b.model)
     {
         const TopologyConfig &topo = run.topology;
         if (topo.devices == 0)
@@ -101,7 +105,7 @@ struct PlatformSession::Impl
         std::vector<engines::DevicePort> ports;
         for (unsigned d = 0; d < topo.devices; ++d) {
             devices.push_back(std::make_unique<DeviceContext>(
-                p, r.system, topo, b.model, b.layout.blocks, d,
+                p, r.system, topo, active, b.layout.blocks, d,
                 r.traceUtilization, r.cache));
             ports.push_back(devices.back()->port());
         }
@@ -114,7 +118,7 @@ struct PlatformSession::Impl
             partition.table().empty() ? nullptr : &partition.table();
         engine = std::make_unique<engines::GnnEngine>(
             devices[0]->queue(), std::move(ports), b.layout, b.graph,
-            b.model, p.flags, *b.source, fabric);
+            active, p.flags, *b.source, fabric);
 
         if (topo.multi()) {
             std::vector<sim::SimStation> stations;
@@ -203,7 +207,7 @@ PlatformSession::runBatch(sim::Tick ready,
     // device computes its 1/devices shard of the batch on its own
     // accelerator, staging the features it prepared locally.
     gnn::ComputeWorkload w =
-        gnn::measureCompute(pr.subgraph, s.bundle.model);
+        gnn::measureCompute(pr.subgraph, s.active);
     const sim::Tick ndev = static_cast<sim::Tick>(s.devices.size());
     accel::ComputeEstimate est = s.devices[0]->accelerator().estimate(w);
     sim::Tick compute_start = 0;
@@ -247,6 +251,25 @@ PlatformSession::runBatch(sim::Tick ready,
     s.prepFree = pr.finish;
     ++s.batches;
     return svc;
+}
+
+BatchService
+PlatformSession::runBatch(sim::Tick ready,
+                          std::span<const graph::NodeId> targets,
+                          const gnn::ModelSpec &model)
+{
+    Impl &s = *impl;
+    if (!(model == s.active)) {
+        s.engine->setModel(model);
+        s.active = model;
+    }
+    return runBatch(ready, targets);
+}
+
+const gnn::ModelSpec &
+PlatformSession::activeModel() const
+{
+    return impl->active;
 }
 
 RunResult
@@ -384,6 +407,27 @@ PlatformSession::finish()
     reg.gauge("run.dram_util").set(res.dramUtil);
     reg.gauge("run.pcie_util").set(res.pcieUtil);
     reg.gauge("run.ok").set(res.ok ? 1.0 : 0.0);
+
+    // Model-zoo instruments exist only when the task deviates from
+    // the historical gcn / uniform-fanout configuration, so default
+    // snapshots stay byte-identical to pre-model-zoo goldens.
+    const gnn::ModelSpec &m = s.active;
+    if (m.kind != gnn::ModelKind::GCN || !m.uniformFanout()) {
+        reg.gauge("model.kind_id")
+            .set(static_cast<double>(static_cast<unsigned>(m.kind)));
+        reg.gauge("model.hops").set(static_cast<double>(m.hops));
+        std::uint64_t fan_total = 0;
+        for (unsigned h = 0; h < m.hops; ++h)
+            fan_total += m.fanoutAt(h);
+        reg.gauge("model.fanout_total")
+            .set(static_cast<double>(fan_total));
+        reg.gauge("model.feature_dim")
+            .set(static_cast<double>(m.featureDim));
+        reg.gauge("model.hidden_dim")
+            .set(static_cast<double>(m.hiddenDim));
+        reg.gauge("model.edge_coeff_bytes")
+            .set(static_cast<double>(m.edgeCoeffBytes()));
+    }
 
     // Array-level instruments exist only on multi-device runs, so a
     // devices = 1 snapshot stays byte-identical to the historical

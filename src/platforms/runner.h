@@ -16,6 +16,7 @@
 #define BEACONGNN_PLATFORMS_RUNNER_H
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 
@@ -93,6 +94,10 @@ struct RunConfig
     /** Zipf(θ) skew of runPlatform's target draws; 0 (default) keeps
      *  the historical uniform stream. Hot set = low node ids. */
     double zipfTheta = 0.0;
+    /** Model override: run this spec instead of the bundle's (the
+     *  bundle layout stays feature-dim compatible). nullopt (default)
+     *  runs the bundle model — the historical behaviour. */
+    std::optional<gnn::ModelSpec> model;
 };
 
 /** Everything measured in one run. */
@@ -179,6 +184,20 @@ class PlatformSession
     /** Run one mini-batch whose prep starts at or after @p ready. */
     BatchService runBatch(sim::Tick ready,
                           std::span<const graph::NodeId> targets);
+
+    /**
+     * Run one mini-batch under @p model, switching the engine (and
+     * re-broadcasting the die configuration) when it differs from the
+     * previous batch's spec — the serving layer's per-request model
+     * selection. The spec must keep the bundle's feature dimension.
+     */
+    BatchService runBatch(sim::Tick ready,
+                          std::span<const graph::NodeId> targets,
+                          const gnn::ModelSpec &model);
+
+    /** The model spec the next batch will run (bundle model, the
+     *  RunConfig override, or the last runBatch() override). */
+    const gnn::ModelSpec &activeModel() const;
 
     /** Mini-batches run so far. */
     std::uint32_t batches() const;

@@ -44,6 +44,10 @@ struct Request
     QosClass qos = QosClass::Standard;
     graph::NodeId target = 0;  ///< Node whose embedding is requested.
     sim::Tick arrival = 0;     ///< Open-loop arrival time.
+    /** Model-zoo entry serving this request (index into the serve
+     *  config's model list; 0 = the bundle's model). Tenants map to
+     *  models statically, so the assignment is reproducible. */
+    std::uint8_t modelId = 0;
 };
 
 /** Per-request latency breakdown recorded by the serve driver. */

@@ -23,46 +23,87 @@ serveWorkload(const platforms::PlatformConfig &platform,
         generateArrivals(cfg.arrivals, bundle.graph.numNodes()));
     platforms::PlatformSession session(platform, run, bundle);
 
+    // Per-request model selection: each configured kind becomes a
+    // spec over the bundle's sampling shape; requests pick a spec via
+    // their modelId. Empty = single-model, the historical path.
+    std::vector<gnn::ModelSpec> specs;
+    specs.reserve(cfg.models.size());
+    for (gnn::ModelKind k : cfg.models) {
+        gnn::ModelSpec sp = bundle.model;
+        sp.kind = k;
+        specs.push_back(sp);
+    }
+    res.perModelRequests.assign(specs.size(), 0);
+
+    auto record = [&](const Request &r,
+                      const platforms::BatchService &svc) {
+        RequestOutcome o;
+        o.id = r.id;
+        o.qos = r.qos;
+        o.arrival = r.arrival;
+        o.dispatch = svc.prepStart;
+        o.prepDone = svc.prepFinish;
+        o.done = svc.computeEnd;
+
+        res.queueingUs.add(sim::toMicros(o.queueing()));
+        res.prepUs.add(sim::toMicros(o.prep()));
+        res.computeUs.add(sim::toMicros(o.compute()));
+        double total_us = sim::toMicros(o.total());
+        res.totalUs.add(total_us);
+        res.latencyUs.add(total_us);
+
+        ClassReport &c = res.perClass[static_cast<std::size_t>(r.qos)];
+        ++c.requests;
+        c.totalUs.add(total_us);
+        if (o.total() > cfg.slo.target[static_cast<std::size_t>(r.qos)])
+            ++c.violations;
+
+        if (outcomes)
+            outcomes->push_back(o);
+    };
+
     std::vector<graph::NodeId> targets;
     Dispatch d;
     while (batcher.next(session.prepFree(), d)) {
-        targets.clear();
-        for (const Request &r : d.batch)
-            targets.push_back(r.target);
+        if (specs.empty()) {
+            targets.clear();
+            for (const Request &r : d.batch)
+                targets.push_back(r.target);
 
-        platforms::BatchService svc = session.runBatch(d.at, targets);
-        if (!svc.ok)
-            res.ok = false;
+            platforms::BatchService svc = session.runBatch(d.at, targets);
+            if (!svc.ok)
+                res.ok = false;
 
-        for (const Request &r : d.batch) {
-            RequestOutcome o;
-            o.id = r.id;
-            o.qos = r.qos;
-            o.arrival = r.arrival;
-            o.dispatch = svc.prepStart;
-            o.prepDone = svc.prepFinish;
-            o.done = svc.computeEnd;
-
-            res.queueingUs.add(sim::toMicros(o.queueing()));
-            res.prepUs.add(sim::toMicros(o.prep()));
-            res.computeUs.add(sim::toMicros(o.compute()));
-            double total_us = sim::toMicros(o.total());
-            res.totalUs.add(total_us);
-            res.latencyUs.add(total_us);
-
-            ClassReport &c =
-                res.perClass[static_cast<std::size_t>(r.qos)];
-            ++c.requests;
-            c.totalUs.add(total_us);
-            if (o.total() >
-                cfg.slo.target[static_cast<std::size_t>(r.qos)])
-                ++c.violations;
-
-            if (outcomes)
-                outcomes->push_back(o);
+            for (const Request &r : d.batch)
+                record(r, svc);
+            res.makespan = std::max(res.makespan, svc.computeEnd);
+            ++res.batches;
+            continue;
         }
-        res.makespan = std::max(res.makespan, svc.computeEnd);
-        ++res.batches;
+        // Split the dispatch into model-homogeneous sub-batches in
+        // stable model order; each sub-batch switches the engine to
+        // its spec (re-broadcasting the die configuration) and runs
+        // as its own platform batch on the serial prep stream.
+        for (std::size_t mid = 0; mid < specs.size(); ++mid) {
+            targets.clear();
+            for (const Request &r : d.batch)
+                if (std::size_t{r.modelId} == mid)
+                    targets.push_back(r.target);
+            if (targets.empty())
+                continue;
+
+            platforms::BatchService svc =
+                session.runBatch(d.at, targets, specs[mid]);
+            if (!svc.ok)
+                res.ok = false;
+
+            for (const Request &r : d.batch)
+                if (std::size_t{r.modelId} == mid)
+                    record(r, svc);
+            res.perModelRequests[mid] += targets.size();
+            res.makespan = std::max(res.makespan, svc.computeEnd);
+            ++res.batches;
+        }
     }
 
     res.meanBatchSize =
@@ -116,6 +157,15 @@ serveWorkload(const platforms::PlatformConfig &platform,
             metrics->counter(prefix + "requests").add(c.requests);
             metrics->counter(prefix + "violations").add(c.violations);
             metrics->accum(prefix + "total_us").merge(c.totalUs);
+        }
+        // Per-model request counters only exist on multi-model runs,
+        // keeping single-model snapshots byte-identical.
+        for (std::size_t mid = 0; mid < specs.size(); ++mid) {
+            metrics
+                ->counter(std::string("model.") +
+                          gnn::modelKindName(specs[mid].kind) +
+                          ".requests")
+                .add(res.perModelRequests[mid]);
         }
         if (res.devices > 1) {
             metrics->gauge("serve.devices")

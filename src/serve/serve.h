@@ -40,6 +40,14 @@ struct ServeConfig
     ArrivalConfig arrivals;
     BatchPolicy policy;
     SloConfig slo;
+    /** Model-zoo entries served side by side: request modelId selects
+     *  one (specs derive from the bundle model with the kind
+     *  replaced), and each dispatch splits into model-homogeneous
+     *  sub-batches so the engine switches specs between batches.
+     *  Empty (default) = the bundle model for every request — the
+     *  historical single-model path, byte-identical. Callers should
+     *  set arrivals.modelCount = models.size(). */
+    std::vector<gnn::ModelKind> models;
 };
 
 /** Latency/SLO tally of one QoS class. */
@@ -92,6 +100,10 @@ struct ServeResult
     double crossFraction = 0;
     /** Per-device command/byte tallies (devices entries). */
     std::vector<engines::DeviceTally> perDevice;
+
+    /** Requests served per model-zoo entry (cfg.models entries;
+     *  empty on a single-model run). */
+    std::vector<std::uint64_t> perModelRequests;
 
     /** Share of all flash commands device @p d executed (0..1). */
     double

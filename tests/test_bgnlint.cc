@@ -318,6 +318,48 @@ void publish(Reg &reg) {
     EXPECT_EQ(got, want);
 }
 
+TEST(Bgn004, ModelNamespaceGrammar)
+{
+    // The model zoo (DESIGN.md §15) publishes under the `model.` root:
+    // closed spec leaves (model.kind_id, ...) plus per-model groups
+    // (model.gin.*, model.algo.*). A bare group, an unknown second
+    // segment, or extra nesting below a spec leaf fails lint.
+    auto fs = lintOne("src/platforms/model_ok.cc", R"cpp(
+void publish(Reg &reg) {
+    reg.gauge("model.kind_id").set(1.0);
+    reg.gauge("model.hops").set(3.0);
+    reg.gauge("model.fanout_total").set(9.0);
+    reg.gauge("model.feature_dim").set(128.0);
+    reg.gauge("model.hidden_dim").set(128.0);
+    reg.gauge("model.edge_coeff_bytes").set(2.0);
+    reg.counter("model.gcn.requests").add(1);
+    reg.counter("model.gin.requests").add(1);
+    reg.counter("model.gat.requests").add(1);
+    reg.counter("model.algo.iterations").add(4);
+    reg.counter("model.algo.frontier_nodes").add(100);
+    reg.gauge("model.algo.converged").set(1.0);
+}
+)cpp");
+    EXPECT_TRUE(fs.empty());
+
+    auto bad = lintOne("src/platforms/model_bad.cc", R"cpp(
+void publish(Reg &reg) {
+    reg.counter("model.bogus").add(1);
+    reg.gauge("model.kind_id.extra").set(1.0);
+    reg.counter("model.gcn").add(1);
+    reg.counter("model.sage.requests").add(1);
+}
+)cpp");
+    auto got = ruleLines(bad);
+    std::vector<std::pair<std::string, int>> want = {
+        {"BGN004", 3}, // unknown leaf 'bogus'
+        {"BGN004", 4}, // nesting below a spec leaf
+        {"BGN004", 5}, // bare group needs a third segment
+        {"BGN004", 6}, // 'sage' is not a known group
+    };
+    EXPECT_EQ(got, want);
+}
+
 TEST(Bgn004, DynamicNamesAreNotChecked)
 {
     // Prefix-built names can't be validated statically — no finding.

@@ -67,8 +67,7 @@ struct Rig
     flash::GnnGlobalConfig
     gnnCfg() const
     {
-        return {model.hops, model.fanout, model.featureDim, 2,
-                model.seed};
+        return engines::gnnGlobalConfig(model);
     }
 };
 

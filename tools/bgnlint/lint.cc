@@ -33,7 +33,9 @@ const std::vector<RuleInfo> kRules = {
     {"BGN004",
      "metric name violates the DESIGN.md §10 namespace grammar",
      "instrument names are lower_snake dot paths rooted at flash./"
-     "ssd./engine./accel./energy./serve./run./array."},
+     "ssd./engine./accel./energy./serve./run./array./model.; the "
+     "model. root takes a closed second segment (a model-zoo kind, "
+     "algo, or a session leaf)"},
     {"BGN005",
      "float accumulation in a parallelMap/runGrid region without a "
      "deterministic-order tag",
@@ -432,13 +434,22 @@ const std::set<std::string> kRegistryAccessors = {
     "counter", "gauge", "accum", "histogram", "interval"};
 const std::set<std::string> kMetricRoots = {
     "flash", "ssd", "engine", "accel", "energy", "serve", "run",
-    "array"};
+    "array", "model"};
 // The cache namespace (engine.cache.*, array.devD.cache.*) has a
 // closed leaf set: a "cache" segment must be followed by exactly one
 // of these, so a misspelled cache metric fails lint instead of
 // silently forking the namespace.
 const std::set<std::string> kCacheLeaves = {
     "hits", "misses", "fills", "evictions", "bytes", "hit_rate"};
+// The model namespace has a closed second segment: a model-zoo kind
+// or the algo sub-namespace (which take further leaves), or one of
+// the session-level leaves (terminal). A misspelled model metric
+// fails lint instead of silently forking the namespace.
+const std::set<std::string> kModelGroups = {"gcn", "gin", "gat",
+                                            "algo"};
+const std::set<std::string> kModelLeaves = {
+    "kind_id", "hops",       "fanout_total",
+    "feature_dim", "hidden_dim", "edge_coeff_bytes"};
 
 bool
 metricNameOk(const std::string &s)
@@ -472,6 +483,12 @@ metricNameOk(const std::string &s)
         if (i + 2 != parts.size() || !kCacheLeaves.count(parts[i + 1]))
             return false;
     }
+    if (parts[0] == "model") {
+        if (kModelGroups.count(parts[1]))
+            return parts.size() >= 3; // model.<kind|algo>.<leaf...>
+        // Session-level leaves are terminal two-segment names.
+        return parts.size() == 2 && kModelLeaves.count(parts[1]) != 0;
+    }
     return true;
 }
 
@@ -493,10 +510,13 @@ Linter::rule004(const FileContext &ctx)
             emit(ctx, t[i + 3].line, "BGN004",
                  "metric name \"" + name +
                      "\" violates the §10 grammar: "
-                     "(flash|ssd|engine|accel|energy|serve|run|array)"
-                     ".lower_snake[.lower_snake...]; a cache segment "
-                     "takes exactly one leaf of hits|misses|fills|"
-                     "evictions|bytes|hit_rate");
+                     "(flash|ssd|engine|accel|energy|serve|run|array|"
+                     "model).lower_snake[.lower_snake...]; a cache "
+                     "segment takes exactly one leaf of hits|misses|"
+                     "fills|evictions|bytes|hit_rate; the model root "
+                     "takes gcn|gin|gat|algo (with leaves) or a "
+                     "session leaf (kind_id|hops|fanout_total|"
+                     "feature_dim|hidden_dim|edge_coeff_bytes)");
     }
 }
 

@@ -54,6 +54,10 @@ usage(const char *argv0, int status = 2)
         "(default 32)\n"
         "  --timeout-us N      micro-batch timeout (default 200)\n"
         "  --tenants N         tenant count; QoS class = tenant %% 3\n"
+        "  --model NAME[,NAME...]  serve this model mix: each request "
+        "runs the\n"
+        "                      model of its tenant (tenant %% count); "
+        "gcn|gin|gat\n"
         "  --slo-ms A,B,C      per-class SLO targets, ms "
         "(default 5,20,100)\n"
         "  --nodes N           override the workload's node count\n"
@@ -152,6 +156,28 @@ main(int argc, char **argv)
             sim::microseconds(std::strtoull(next(), nullptr, 10));
         else if (a == "--tenants") sc.arrivals.tenants =
             static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+        else if (a == "--model") {
+            sc.models.clear();
+            for (const auto &n : splitList(next())) {
+                auto k = gnn::findModelKind(n);
+                if (!k) {
+                    std::fprintf(stderr,
+                                 "bgnserve: unknown model '%s' "
+                                 "(valid: %s)\n",
+                                 n.c_str(),
+                                 gnn::modelKindList().c_str());
+                    return 2;
+                }
+                sc.models.push_back(*k);
+            }
+            if (sc.models.empty()) {
+                std::fprintf(stderr,
+                             "bgnserve: --model needs at least one "
+                             "name (valid: %s)\n",
+                             gnn::modelKindList().c_str());
+                return 2;
+            }
+        }
         else if (a == "--slo-ms") slo_list = next();
         else if (a == "--nodes") nodes = static_cast<graph::NodeId>(
             std::strtoul(next(), nullptr, 10));
@@ -294,6 +320,10 @@ main(int argc, char **argv)
                 std::strtoull(parts[q].c_str(), nullptr, 10));
     }
 
+    if (!sc.models.empty())
+        sc.arrivals.modelCount =
+            static_cast<std::uint32_t>(sc.models.size());
+
     // One bundle per workload, shared read-only across the sweep.
     gnn::ModelConfig model;
     std::vector<std::unique_ptr<platforms::WorkloadBundle>> bundles;
@@ -369,6 +399,17 @@ main(int argc, char **argv)
                 curve.push_back(res);
             }
             printSaturation(curve);
+            if (!sc.models.empty()) {
+                const ServeResult &last = curve.back();
+                std::printf("  model mix (last rate):");
+                for (std::size_t m = 0;
+                     m < last.perModelRequests.size(); ++m)
+                    std::printf(" %s %llu",
+                                gnn::modelKindName(sc.models[m]),
+                                static_cast<unsigned long long>(
+                                    last.perModelRequests[m]));
+                std::printf(" request(s)\n");
+            }
             if (first->devices > 1) {
                 const ServeResult &last = curve.back();
                 std::printf("  array: %u devices, command share",

@@ -27,9 +27,11 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "platforms/algo_runner.h"
 #include "platforms/report.h"
 #include "sim/executor.h"
 #include "sim/log.h"
@@ -59,6 +61,14 @@ usage(const char *argv0)
         "  --batches N         mini-batches to run (default 4)\n"
         "  --batch-size N      targets per mini-batch (default 128)\n"
         "  --hops N / --fanout N   GNN sampling shape (default 3/3)\n"
+        "  --model NAME        gcn|gin|gat aggregate/combine pair "
+        "(default gcn)\n"
+        "  --fanouts N[,N...]  per-hop fanout schedule (overrides "
+        "--fanout)\n"
+        "  --algo NAME         run a vertex program instead of GNN "
+        "inference:\n"
+        "                      pagerank|bfs|kcore, iterated to "
+        "convergence\n"
         "  --channels N / --dies N / --cores N   SSD geometry\n"
         "  --page-kb N         flash page size in KiB (default 4)\n"
         "  --channel-mbps X    channel bandwidth (default 800)\n"
@@ -120,6 +130,7 @@ main(int argc, char **argv)
     rc.batchSize = 128;
     rc.batches = 4;
     gnn::ModelConfig model;
+    std::optional<gnn::AlgoKind> algo;
     bool dedupe = false, no_coalesce = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -141,6 +152,41 @@ main(int argc, char **argv)
             std::strtoul(next(), nullptr, 10));
         else if (a == "--fanout") model.fanout = static_cast<std::uint8_t>(
             std::strtoul(next(), nullptr, 10));
+        else if (a == "--model") {
+            std::string n = next();
+            auto k = gnn::findModelKind(n);
+            if (!k) {
+                std::fprintf(stderr,
+                             "bgnsim: unknown model '%s' (valid: %s)\n",
+                             n.c_str(), gnn::modelKindList().c_str());
+                return 2;
+            }
+            model.kind = *k;
+        }
+        else if (a == "--fanouts") {
+            std::string n = next();
+            auto f = gnn::parseFanouts(n);
+            if (!f) {
+                std::fprintf(stderr,
+                             "bgnsim: bad --fanouts '%s' (want a "
+                             "comma-separated list of 1..255)\n",
+                             n.c_str());
+                return 2;
+            }
+            model.fanouts = std::move(*f);
+            model.normalizeFanouts();
+        }
+        else if (a == "--algo") {
+            std::string n = next();
+            auto k = gnn::findAlgoKind(n);
+            if (!k) {
+                std::fprintf(stderr,
+                             "bgnsim: unknown algo '%s' (valid: %s)\n",
+                             n.c_str(), gnn::algoKindList().c_str());
+                return 2;
+            }
+            algo = *k;
+        }
         else if (a == "--channels") rc.system.flash.channels =
             static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
         else if (a == "--dies") rc.system.flash.diesPerChannel =
@@ -292,6 +338,100 @@ main(int argc, char **argv)
     sim::TraceSink sink;
     if (!trace_path.empty())
         rc.traceSink = &sink;
+
+    if (algo) {
+        // Vertex-program mode: iterate-until-convergence supersteps
+        // instead of fixed mini-batches, same platform x workload grid.
+        AlgoRunConfig ac;
+        ac.program.algo = *algo;
+        std::vector<AlgoRunResult> ares;
+        if (total == 1) {
+            ares.push_back(runVertexProgram(
+                configured(kinds[0]), rc, *bundles[0], ac,
+                want_metrics ? &regs[0] : nullptr));
+        } else {
+            sim::SimExecutor ex;
+            std::printf("bgnsim: %zu-run grid on %u worker(s)\n", total,
+                        ex.jobs());
+            ares = ex.map<AlgoRunResult>(total, [&](std::size_t i) {
+                return runVertexProgram(
+                    configured(kinds[i / nw]), rc, *bundles[i % nw], ac,
+                    want_metrics ? &regs[i] : nullptr);
+            });
+        }
+        bool aok = true;
+        for (std::size_t i = 0; i < total; ++i) {
+            const AlgoRunResult &r = ares[i];
+            const WorkloadBundle &b = *bundles[i % nw];
+            aok = aok && r.ok;
+            std::printf("bgnsim: %s on %s via %s (%u nodes, avg "
+                        "degree %.0f)\n",
+                        r.algo.c_str(), b.name.c_str(),
+                        r.platform.c_str(), b.graph.numNodes(),
+                        b.graph.avgDegree());
+            std::printf("  %s in %u superstep(s) | %llu frontier "
+                        "reads | %.2f ms | %.2f Knodes/s | checksum "
+                        "%.6g\n",
+                        r.converged ? "converged" : "iteration cap",
+                        r.iterations,
+                        static_cast<unsigned long long>(
+                            r.frontierNodes),
+                        sim::toMillis(r.totalTime),
+                        r.throughput / 1e3, r.checksum);
+        }
+        if (!csv_path.empty()) {
+            bool fresh = !std::ifstream(csv_path).good();
+            std::ofstream out(csv_path, std::ios::app);
+            if (fresh)
+                out << "platform,workload,algo,ok,converged,"
+                       "iterations,frontier_nodes,total_time_us,"
+                       "frontier_per_sec,checksum,devices\n";
+            for (const AlgoRunResult &r : ares)
+                out << r.platform << ',' << r.workload << ','
+                    << r.algo << ',' << (r.ok ? 1 : 0) << ','
+                    << (r.converged ? 1 : 0) << ',' << r.iterations
+                    << ',' << r.frontierNodes << ','
+                    << sim::toMicros(r.totalTime) << ','
+                    << r.throughput << ',' << r.checksum << ','
+                    << r.devices << '\n';
+            std::printf("  appended %zu CSV row(s) to %s\n",
+                        ares.size(), csv_path.c_str());
+        }
+        if (!metrics_path.empty()) {
+            std::ofstream out(metrics_path);
+            out << "{\"runs\": [";
+            for (std::size_t i = 0; i < total; ++i) {
+                out << (i == 0 ? "\n" : ",\n");
+                out << "{\"platform\": \"" << ares[i].platform
+                    << "\", \"workload\": \"" << ares[i].workload
+                    << "\", \"algo\": \"" << ares[i].algo
+                    << "\", \"metrics\": ";
+                regs[i].writeJson(out);
+                out << "}";
+            }
+            out << "\n]}\n";
+            std::printf("  wrote metrics snapshot to %s\n",
+                        metrics_path.c_str());
+        }
+        if (!metrics_csv_path.empty()) {
+            std::ofstream out(metrics_csv_path);
+            sim::MetricRegistry::writeCsvHeader(out,
+                                                "platform,workload,");
+            for (std::size_t i = 0; i < total; ++i)
+                regs[i].writeCsv(out, ares[i].platform + "," +
+                                          ares[i].workload + ",");
+            std::printf("  wrote metrics CSV to %s\n",
+                        metrics_csv_path.c_str());
+        }
+        if (!trace_path.empty()) {
+            std::ofstream out(trace_path);
+            sink.write(out);
+            std::printf("  wrote %zu trace event(s) to %s%s\n",
+                        sink.events(), trace_path.c_str(),
+                        sink.dropped() ? " (truncated)" : "");
+        }
+        return aok ? 0 : 1;
+    }
 
     std::vector<RunResult> results;
     if (total == 1) {
