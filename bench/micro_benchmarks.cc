@@ -364,6 +364,87 @@ checkRegistryOverhead()
     return true;
 }
 
+/** The BM_EventQueue workload, optionally with a validator armed.
+ *  The validator is constructed either way (it is per-run state —
+ *  pop monotonicity would trip across queue lifetimes otherwise), so
+ *  the two variants differ only in the attachment. */
+std::uint64_t
+eventLoopValidator(bool armed)
+{
+    sim::Validator v(1, 0);
+    sim::EventQueue q;
+    if (armed)
+        q.setValidator(&v, 0);
+    std::uint64_t fired = 0, ticks = 0;
+    for (int i = 0; i < 10000; ++i) {
+        sim::Tick d = static_cast<sim::Tick>((i * 37) % 1000);
+        q.schedule(d, [&fired, &ticks, d] {
+            ++fired;
+            ticks += d;
+        });
+    }
+    q.run();
+    return fired * 1000003u + ticks;
+}
+
+/**
+ * Checked-build cost contract (DESIGN.md §16): with BGN_CHECKED=OFF
+ * the validator hooks are compiled out, so attaching a validator to
+ * an event queue must be byte-neutral (identical loop result) and
+ * timing-neutral (same <5% budget discipline as the registry check).
+ * A checked build reports the measured hook overhead but never
+ * fails — paying for the assertions is that build's purpose.
+ */
+bool
+checkValidatorOverhead()
+{
+    constexpr int kReps = 15, kRunsPerRep = 10;
+    constexpr double kBudget = 0.05;
+    using clock = std::chrono::steady_clock;
+    auto timeMin = [&](auto &&body) {
+        double best = 1e300;
+        for (int r = 0; r < kReps; ++r) {
+            auto t0 = clock::now();
+            for (int i = 0; i < kRunsPerRep; ++i)
+                body();
+            best = std::min(
+                best, std::chrono::duration<double>(clock::now() - t0)
+                          .count());
+        }
+        return best;
+    };
+    std::uint64_t plain = eventLoopValidator(false);
+    std::uint64_t armed = eventLoopValidator(true);
+    if (plain != armed) {
+        std::fprintf(stderr,
+                     "FAIL: validator attachment changed the event "
+                     "loop result (%llu vs %llu)\n",
+                     static_cast<unsigned long long>(plain),
+                     static_cast<unsigned long long>(armed));
+        return false;
+    }
+    double off = timeMin([] {
+        benchmark::DoNotOptimize(eventLoopValidator(false));
+    });
+    double on = timeMin([] {
+        benchmark::DoNotOptimize(eventLoopValidator(true));
+    });
+    double overhead = on / off - 1.0;
+    std::printf("validator overhead (%s build): %+.2f%% (plain %.3f "
+                "ms, armed %.3f ms, min of %d)\n",
+                sim::kCheckedBuild ? "BGN_CHECKED" : "off",
+                100.0 * overhead, 1e3 * off, 1e3 * on, kReps);
+    if (!sim::kCheckedBuild && overhead > kBudget) {
+        std::fprintf(stderr,
+                     "FAIL: compiled-out validator hooks cost %.2f%% "
+                     "— an OFF build must be timing-neutral "
+                     "(budget %.0f%%)\n",
+                     100.0 * overhead, 100.0 * kBudget);
+        return false;
+    }
+    return true;
+}
+
 } // namespace
 
 int
@@ -374,5 +455,7 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
-    return checkRegistryOverhead() ? 0 : 1;
+    bool registryOk = checkRegistryOverhead();
+    bool validatorOk = checkValidatorOverhead();
+    return (registryOk && validatorOk) ? 0 : 1;
 }

@@ -181,6 +181,7 @@ struct GnnEngine::Batch
     // Streaming dedup: nodes whose primary section this batch
     // already fetched (maps to the time its data became available).
     // One map per device — SSD DRAM caches do not span the fabric.
+    // bgnlint:lane-owned
     std::vector<std::unordered_map<std::uint64_t, sim::Tick>> fetched;
 
     // Barrier mode: visits of the next hop, accumulated this hop.
@@ -266,6 +267,8 @@ GnnEngine::GnnEngine(sim::EventQueue &queue_,
       layout(layout_), g(graph_), model(model_), _flags(flags),
       source(source_)
 {
+    // Single-device construction: device 0 is the only lane and the
+    // parallel driver never runs. bgnlint:allow(BGN007)
     ports[0].queue = &queue;
 }
 
@@ -344,6 +347,9 @@ GnnEngine::prepare(sim::Tick start, std::uint64_t batch_id,
             // completePrepared() after the driver quiesces.
             b->readyAt = ready;
             b->lanes.resize(ports.size());
+            // Pre-sizing every lane happens on the prep thread
+            // before the driver starts; no lane is live yet.
+            // bgnlint:allow(BGN007)
             for (Batch::Lane &l : b->lanes)
                 l.hops.resize(model.hops + 1u);
             inFlight.push_back(b);
@@ -506,6 +512,8 @@ GnnEngine::setTraceSink(sim::TraceSink *sink)
         // Worker threads must never share a sink: each device records
         // into its own shard, absorbed in device order afterwards.
         laneShards.resize(ports.size());
+        // Trace-sink configuration seam: runs between batches while
+        // the driver is quiescent. bgnlint:allow(BGN007)
         for (auto &s : laneShards)
             s = std::make_unique<sim::TraceSink>();
     }
@@ -523,10 +531,20 @@ GnnEngine::setTraceSink(sim::TraceSink *sink)
 }
 
 void
+GnnEngine::setValidator(sim::Validator *v)
+{
+    validator = v;
+    if (mailbox)
+        mailbox->setValidator(v);
+}
+
+void
 GnnEngine::flushTraceShards()
 {
     if (!trace)
         return;
+    // Merge seam: absorbs each device's shard in fixed device order
+    // after the driver has quiesced. bgnlint:allow(BGN007)
     for (auto &s : laneShards) {
         if (!s)
             continue;
@@ -597,6 +615,8 @@ GnnEngine::setModel(const gnn::ModelConfig &m)
         return;
     model = m;
     const flash::GnnGlobalConfig cfg = gnnGlobalConfig(m);
+    // Model swap is a between-batch reconfiguration seam; every
+    // lane's sampler takes the same config. bgnlint:allow(BGN007)
     for (DevicePort &p : ports)
         if (p.sampler)
             p.sampler->setGnnConfig(cfg);
@@ -654,6 +674,12 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
                          flash::GnnSampleParams params, sim::Tick ready,
                          unsigned from_channel, unsigned dev)
 {
+    if constexpr (sim::kCheckedBuild) {
+        // Every stream entry is a touch of this device's lane: the
+        // executing thread must own station `dev` for the window.
+        if (validator)
+            validator->onTouch(dev, "streamCommand");
+    }
     DevicePort &port = ports[dev];
     flash::FlashBackend &backend = *port.backend;
     ssd::Firmware &fw = *port.fw;
@@ -982,8 +1008,10 @@ GnnEngine::scheduleChild(const std::shared_ptr<Batch> &b,
     b->res.perDevice[dev].p2pBytes += fabric.commandBytes;
     unsigned entry =
         ports[child_dev].backend->codec().channelOf(child.ppa);
-    mailbox->post(child_dev, CrossMsg{arrive, dev, p2pSeq[dev]++, b,
-                                      child, entry});
+    mailbox->post(child_dev,
+                  CrossMsg{arrive, dev, p2pSeq[dev]++, b, child,
+                           entry},
+                  arrive, dev, homeQueue(dev).now());
 }
 // ====================================================================
 // Hop-by-hop (barrier) pipeline: CC, GLIST, SmartSage, BG-1, BG-SP.

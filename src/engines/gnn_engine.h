@@ -286,6 +286,14 @@ class GnnEngine
      *  so array runs can namespace them per device. */
     void publishMetrics(sim::MetricRegistry &reg) const;
 
+    /**
+     * Attach the checked-build validator (DESIGN.md §16): the engine
+     * reports each device-lane entry (streamCommand) as a touch and
+     * posts cross-device mailbox messages through the checked
+     * overload. Nullptr detaches; OFF builds compile the checks out.
+     */
+    void setValidator(sim::Validator *v);
+
   private:
     struct Batch;
     /** One cross-device command in flight through the mailbox. */
@@ -364,7 +372,9 @@ class GnnEngine
     /** Per-source-device message sequence numbers: the deterministic
      *  tie-break of the mailbox sort. Each entry is touched only by
      *  its own device's worker thread. */
-    std::vector<std::uint64_t> p2pSeq;
+    std::vector<std::uint64_t> p2pSeq; // bgnlint:lane-owned
+    /** Checked-build hooks (DESIGN.md §16); unused when off. */
+    sim::Validator *validator = nullptr;
     /** Multi-device batches awaiting completePrepared(). */
     std::vector<std::shared_ptr<Batch>> inFlight;
     /** Completion time of the one-time GNN config broadcast. */

@@ -109,6 +109,17 @@ class DeviceContext
     /** Attach a Chrome-trace sink on this device's pid range. */
     void setTraceSink(sim::TraceSink *sink, bool multi);
 
+    /**
+     * Attach the checked-build validator (DESIGN.md §16): registers
+     * this device's queue as station `index()`'s local clock so every
+     * schedule/pop is causality- and ownership-checked. Nullptr
+     * detaches; OFF builds compile the checks out.
+     */
+    void setValidator(sim::Validator *v)
+    {
+        _queue.setValidator(v, _index);
+    }
+
   private:
     unsigned _index;
     /** Local clock: all of this device's events run here. */

@@ -73,6 +73,11 @@ struct PlatformSession::Impl
      *  shards in device order, so the final trace is byte-identical
      *  for every worker count. */
     std::vector<std::unique_ptr<sim::TraceSink>> backendShards;
+    /** Checked-build causality/ownership validator (multi-device,
+     *  BGN_CHECKED builds only; DESIGN.md §16). Owned per session —
+     *  bench grids run several sessions concurrently in one
+     *  process, so this must never be a global. */
+    std::unique_ptr<sim::Validator> validator;
 
     RunResult res;
     sim::MetricRegistry reg;
@@ -132,10 +137,18 @@ struct PlatformSession::Impl
             }
             psim = std::make_unique<sim::ParallelSimulator>(
                 std::move(stations), topo.lookahead());
+            if (sim::kCheckedBuild) {
+                validator = std::make_unique<sim::Validator>(
+                    devices.size(), topo.lookahead());
+                for (const auto &dev : devices)
+                    dev->setValidator(validator.get());
+                engine->setValidator(validator.get());
+                psim->setValidator(validator.get());
+            }
         }
 
         if (r.traceSink) {
-            for (auto &dev : devices) {
+            for (const auto &dev : devices) {
                 if (topo.multi()) {
                     backendShards.push_back(
                         std::make_unique<sim::TraceSink>());
@@ -193,6 +206,8 @@ PlatformSession::runBatch(sim::Tick ready,
         s.psim->run();
         s.engine->completePrepared();
     } else {
+        // Single-device run path: device 0 is the only station and
+        // this thread is its lane. bgnlint:allow(BGN007)
         s.devices[0]->queue().run();
     }
     if (!got)

@@ -24,6 +24,7 @@
 
 #include "sim/inline_callback.h"
 #include "sim/types.h"
+#include "sim/validator.h"
 
 namespace beacongnn::sim {
 
@@ -65,6 +66,12 @@ class EventQueue
     Tick
     scheduleAt(Tick when, Callback fn)
     {
+        if constexpr (kCheckedBuild) {
+            // Before the clamp: a past-scheduled event is exactly
+            // what the checked build exists to catch.
+            if (_validator)
+                _validator->onSchedule(_station, when, _now);
+        }
         if (when < _now)
             when = _now;
         events.push_back(Event{when, seq++, std::move(fn)});
@@ -113,6 +120,10 @@ class EventQueue
         reserveAdditional(batch.size());
         if (batch.size() >= 8 && batch.size() >= events.size() / 2) {
             for (TimedEvent &e : batch) {
+                if constexpr (kCheckedBuild) {
+                    if (_validator)
+                        _validator->onSchedule(_station, e.when, _now);
+                }
                 events.push_back(Event{std::max(e.when, _now), seq++,
                                        std::move(e.fn)});
             }
@@ -125,6 +136,19 @@ class EventQueue
 
     /** Allocated heap capacity (events). */
     std::size_t capacity() const { return events.capacity(); }
+
+    /**
+     * Attach the checked-build validator, registering this queue as
+     * @p station's local clock. A nullptr detaches. The setter is
+     * always available; the hooks it feeds are compiled out entirely
+     * unless BGN_CHECKED is defined (kCheckedBuild).
+     */
+    void
+    setValidator(Validator *v, unsigned station)
+    {
+        _validator = v;
+        _station = station;
+    }
 
     /**
      * Run until the queue drains.
@@ -152,6 +176,10 @@ class EventQueue
             Event ev = std::move(events.back());
             events.pop_back();
             _now = ev.when;
+            if constexpr (kCheckedBuild) {
+                if (_validator)
+                    _validator->onPop(_station, ev.when);
+            }
             ev.fn();
         }
         return _now;
@@ -193,6 +221,9 @@ class EventQueue
     std::vector<Event> events;
     Tick _now = 0;
     std::uint64_t seq = 0;
+    /** Checked-build hooks (DESIGN.md §16); unused when off. */
+    Validator *_validator = nullptr;
+    unsigned _station = 0;
 };
 
 } // namespace beacongnn::sim

@@ -24,6 +24,9 @@
 #include <utility>
 #include <vector>
 
+#include "sim/types.h"
+#include "sim/validator.h"
+
 namespace beacongnn::sim {
 
 /**
@@ -54,6 +57,29 @@ class Mailbox
         s.inbox.push_back(std::move(msg));
         ++s.posted;
     }
+
+    /**
+     * Checked post: like post(), but carries the causality facts a
+     * checked build (DESIGN.md §16) asserts — the message's delivery
+     * stamp @p when must be at least one lookahead beyond the
+     * sender's clock @p srcNow, and the calling thread must own
+     * station @p src for the current window. An OFF build compiles
+     * the check out and this is exactly post().
+     */
+    void
+    post(std::size_t dst, Message msg, Tick when, unsigned src,
+         Tick srcNow)
+    {
+        if constexpr (kCheckedBuild) {
+            if (_validator)
+                _validator->onMailboxPost(
+                    src, static_cast<unsigned>(dst), when, srcNow);
+        }
+        post(dst, std::move(msg));
+    }
+
+    /** Attach the checked-build validator (nullptr detaches). */
+    void setValidator(Validator *v) { _validator = v; }
 
     /** Take station @p dst's whole inbox (arrival order, unsorted). */
     std::vector<Message>
@@ -87,6 +113,8 @@ class Mailbox
     };
 
     std::vector<Slot> slots;
+    /** Checked-build hooks (DESIGN.md §16); unused when off. */
+    Validator *_validator = nullptr;
 };
 
 } // namespace beacongnn::sim

@@ -61,8 +61,27 @@ ParallelSimulator::runSerial()
             break;
         Tick limit = windowLimit(floor);
         ++_windows;
-        for (SimStation &s : _stations)
-            s.queue->runUntil(limit);
+        if constexpr (kCheckedBuild) {
+            if (_validator)
+                _validator->windowOpen(floor, limit);
+        }
+        for (std::size_t s = 0; s < _stations.size(); ++s) {
+            if constexpr (kCheckedBuild) {
+                if (_validator)
+                    _validator->claimStation(
+                        static_cast<unsigned>(s));
+            }
+            _stations[s].queue->runUntil(limit);
+            if constexpr (kCheckedBuild) {
+                if (_validator)
+                    _validator->releaseStation(
+                        static_cast<unsigned>(s));
+            }
+        }
+        if constexpr (kCheckedBuild) {
+            if (_validator)
+                _validator->windowClose();
+        }
     }
     Tick end = 0;
     for (SimStation &s : _stations)
@@ -83,8 +102,19 @@ ParallelSimulator::runParallel(unsigned workers)
     bool stop = false;
 
     auto runStations = [&](unsigned w) {
-        for (std::size_t s = w; s < _stations.size(); s += workers)
+        for (std::size_t s = w; s < _stations.size(); s += workers) {
+            if constexpr (kCheckedBuild) {
+                if (_validator)
+                    _validator->claimStation(
+                        static_cast<unsigned>(s));
+            }
             _stations[s].queue->runUntil(limit);
+            if constexpr (kCheckedBuild) {
+                if (_validator)
+                    _validator->releaseStation(
+                        static_cast<unsigned>(s));
+            }
+        }
     };
 
     std::vector<std::thread> pool;
@@ -110,9 +140,17 @@ ParallelSimulator::runParallel(unsigned workers)
         }
         limit = windowLimit(floor);
         ++_windows;
+        if constexpr (kCheckedBuild) {
+            if (_validator)
+                _validator->windowOpen(floor, limit);
+        }
         ready.arriveAndWait();
         runStations(0);
         done.arriveAndWait();
+        if constexpr (kCheckedBuild) {
+            if (_validator)
+                _validator->windowClose();
+        }
     }
     for (std::thread &t : pool)
         t.join();

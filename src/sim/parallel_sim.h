@@ -118,6 +118,15 @@ class ParallelSimulator
     /** Worker count the last run() resolved to (0 before any run). */
     unsigned lastJobs() const { return _lastJobs; }
 
+    /**
+     * Attach the checked-build validator (DESIGN.md §16): the driver
+     * reports window open/close and workers claim their stations
+     * around each runUntil. Station queues register themselves via
+     * EventQueue::setValidator. Nullptr detaches; an OFF build
+     * compiles every report out.
+     */
+    void setValidator(Validator *v) { _validator = v; }
+
   private:
     Tick runSerial();
     Tick runParallel(unsigned workers);
@@ -130,6 +139,8 @@ class ParallelSimulator
     unsigned _jobsParam;
     unsigned _lastJobs = 0;
     std::uint64_t _windows = 0;
+    /** Checked-build hooks (DESIGN.md §16); unused when off. */
+    Validator *_validator = nullptr;
 };
 
 } // namespace beacongnn::sim

@@ -1,9 +1,10 @@
 /**
  * @file
- * bgnlint rule engine tests (DESIGN.md §11): every rule BGN001–BGN006
- * is demonstrated caught on a fixture that seeds exactly one kind of
- * violation, suppression comments are honoured, clean code stays
- * clean, and the file walker behaves. Closes with the determinism
+ * bgnlint rule engine tests (DESIGN.md §11, §16): every rule
+ * BGN001–BGN009 is demonstrated caught on a fixture that seeds
+ * exactly one kind of violation, suppression comments are honoured
+ * (and audited for staleness), clean code stays clean, and the file
+ * walker behaves. Closes with the determinism
  * regression the linter exists to protect: a CC and a BG-2 point run
  * twice must export byte-identical metrics JSON.
  */
@@ -476,6 +477,203 @@ void f(unsigned dev, Batch batch) {
 }
 
 // ==================================================================
+// BGN007 — write to lane-owned state not indexed by its owner.
+// ==================================================================
+
+/** Header fixture that seeds the cross-TU lane table: `lanes` is a
+ *  container of the lane class, `fetched`/`credits` are its fields. */
+const char *kLaneHeader = R"cpp(
+#include <vector>
+struct Lane {
+    std::vector<unsigned> fetched;
+    long credits = 0;
+};
+struct Batch {
+    std::vector<Lane> lanes;
+};
+)cpp";
+
+std::vector<Finding>
+lintWithLanes(const std::string &path, const std::string &content,
+              const LintOptions &opt = {})
+{
+    return bgnlint::lintFiles(
+        {{"src/engines/lane.h", kLaneHeader}, {path, content}}, opt);
+}
+
+TEST(Bgn007, NonOwnerIndexedWritesAreFlagged)
+{
+    auto fs = lintWithLanes("src/engines/fixture.cc", R"cpp(
+void f(unsigned dev) {
+    lanes[0].credits = 7;
+    lanes[dev + 1].credits = 7;
+    anything[0].fetched.push_back(3);
+}
+)cpp");
+    auto got = ruleLines(fs);
+    std::vector<std::pair<std::string, int>> want = {
+        {"BGN007", 3}, // Literal index.
+        {"BGN007", 4}, // Compound index.
+        {"BGN007", 5}, // Foreign container, lane member field.
+    };
+    EXPECT_EQ(got, want);
+}
+
+TEST(Bgn007, OwnerIndexedWritesAndReadsAreClean)
+{
+    auto fs = lintWithLanes("src/engines/ok.cc", R"cpp(
+long f(unsigned dev) {
+    lanes[dev].credits = 7;          // Single owning-device index.
+    lanes[dev].fetched.push_back(3); // Ditto, mutating call.
+    return lanes[0].credits;         // Read access is free.
+}
+)cpp");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(Bgn007, MutableRangeForOverLaneContainerIsFlagged)
+{
+    auto fs = lintWithLanes("src/engines/fixture.cc", R"cpp(
+void f(Batch &b) {
+    for (Lane &l : b.lanes)
+        l.credits = 0;
+    for (const Lane &l : b.lanes)
+        use(l);
+}
+)cpp");
+    auto got = ruleLines(fs);
+    std::vector<std::pair<std::string, int>> want = {
+        {"BGN007", 3}, // Mutable ref; the const loop is clean.
+    };
+    EXPECT_EQ(got, want);
+}
+
+TEST(Bgn007, AllowTagMarksQuiescentSeam)
+{
+    auto fs = lintWithLanes("src/engines/seam.cc", R"cpp(
+void reset(Batch &b) {
+    // bgnlint:allow(BGN007) setup seam: no window open yet.
+    for (Lane &l : b.lanes)
+        l.credits = 0;
+}
+)cpp");
+    EXPECT_TRUE(fs.empty()); // Suppressed, and the tag is not stale.
+}
+
+TEST(Bgn007, LaneOwnedTagEnrollsForeignContainers)
+{
+    auto fs = lintWithLanes("src/engines/tagged.cc", R"cpp(
+#include <vector>
+struct Shards {
+    std::vector<Tally> perDevice; // bgnlint:lane-owned
+};
+void f(Shards &s, Tally &t) {
+    s.perDevice[0].merge(t);
+}
+)cpp");
+    auto got = ruleLines(fs);
+    std::vector<std::pair<std::string, int>> want = {
+        {"BGN007", 7},
+    };
+    EXPECT_EQ(got, want);
+}
+
+TEST(Bgn007, BenchAndParallelSimDriverAreOutOfScope)
+{
+    const char *body = "void f() { lanes[0].credits = 7; }\n";
+    EXPECT_TRUE(lintWithLanes("bench/fixture.cc", body).empty());
+    EXPECT_TRUE(
+        lintWithLanes("src/sim/parallel_sim.cc", body).empty());
+}
+
+// ==================================================================
+// BGN008 — stale allow suppressions.
+// ==================================================================
+
+TEST(Bgn008, StaleAndUnknownTagsAreFlagged)
+{
+    auto fs = lintOne("src/x/f.cc", R"cpp(
+// bgnlint:allow(BGN003)
+int *live = new int(1);
+// bgnlint:allow(BGN003)
+int dead = 2;
+// bgnlint:allow(BGN099)
+int unknown = 3;
+)cpp");
+    auto got = ruleLines(fs);
+    std::vector<std::pair<std::string, int>> want = {
+        {"BGN008", 4}, // Masks nothing: stale.
+        {"BGN008", 6}, // BGN099 names no catalog rule.
+    };
+    EXPECT_EQ(got, want);
+}
+
+TEST(Bgn008, StalenessIgnoresTheRuleFilter)
+{
+    // --rule BGN003 must not turn a live BGN003 suppression stale:
+    // all rules always run and onlyRules filters post-hoc.
+    LintOptions opt;
+    opt.onlyRules = {"BGN003"};
+    auto fs = lintOne("src/x/f.cc",
+                      "// bgnlint:allow(BGN003)\n"
+                      "int *p = new int(1);\n",
+                      opt);
+    EXPECT_TRUE(fs.empty());
+}
+
+// ==================================================================
+// BGN009 — include-graph layering.
+// ==================================================================
+
+TEST(Bgn009, SimMayIncludeNoOtherLayer)
+{
+    auto fs = bgnlint::lintFiles(
+        {{"src/sim/clock.h", "#include \"flash/chip.h\"\n"},
+         {"src/flash/chip.h", "int f();\n"}},
+        {});
+    auto got = ruleLines(fs);
+    std::vector<std::pair<std::string, int>> want = {
+        {"BGN009", 1},
+    };
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(fs[0].file, "src/sim/clock.h");
+}
+
+TEST(Bgn009, DeviceLayerMayNotIncludeOrchestration)
+{
+    auto fs = bgnlint::lintFiles(
+        {{"src/flash/chip.cc", "#include \"platforms/runner.h\"\n"},
+         {"src/platforms/runner.h", "int f();\n"}},
+        {});
+    ASSERT_EQ(fs.size(), 1u);
+    EXPECT_EQ(fs[0].rule, "BGN009");
+    EXPECT_EQ(fs[0].file, "src/flash/chip.cc");
+}
+
+TEST(Bgn009, CyclesAreReportedAtBothEnds)
+{
+    auto fs = bgnlint::lintFiles(
+        {{"src/engines/a.h", "#include \"cache/b.h\"\n"},
+         {"src/cache/b.h", "#include \"engines/a.h\"\n"}},
+        {});
+    auto got = ruleLines(fs);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(fs[0].rule, "BGN009");
+    EXPECT_EQ(fs[1].rule, "BGN009");
+}
+
+TEST(Bgn009, AcyclicDownwardIncludesAreClean)
+{
+    auto fs = bgnlint::lintFiles(
+        {{"src/platforms/runner.cc",
+          "#include \"sim/clock.h\"\n#include \"flash/chip.h\"\n"},
+         {"src/flash/chip.h", "#include \"sim/clock.h\"\n"},
+         {"src/sim/clock.h", "int now();\n"}},
+        {});
+    EXPECT_TRUE(fs.empty());
+}
+
+// ==================================================================
 // Suppression comments.
 // ==================================================================
 
@@ -513,8 +711,14 @@ TEST(Suppression, AllowOfOtherRuleDoesNotHide)
     auto fs = lintOne("src/x/f.cc",
                       "// bgnlint:allow(BGN001)\n"
                       "int *p = new int(7);\n");
-    ASSERT_EQ(fs.size(), 1u);
-    EXPECT_EQ(fs[0].rule, "BGN003");
+    // The BGN003 finding survives, and the BGN001 tag that masks
+    // nothing is itself reported stale (BGN008).
+    auto got = ruleLines(fs);
+    std::vector<std::pair<std::string, int>> want = {
+        {"BGN008", 1},
+        {"BGN003", 2},
+    };
+    EXPECT_EQ(got, want);
 }
 
 // ==================================================================
@@ -549,10 +753,10 @@ TEST(Driver, RuleFilterRestricts)
     EXPECT_EQ(fs[0].rule, "BGN001");
 }
 
-TEST(Driver, CatalogHasSixRulesInOrder)
+TEST(Driver, CatalogHasNineRulesInOrder)
 {
     const auto &rules = bgnlint::ruleCatalog();
-    ASSERT_EQ(rules.size(), 6u);
+    ASSERT_EQ(rules.size(), 9u);
     for (std::size_t i = 0; i < rules.size(); ++i)
         EXPECT_EQ(rules[i].id, "BGN00" + std::to_string(i + 1));
 }

@@ -174,7 +174,11 @@ TEST(Training, MacCountsReported)
 
 TEST(Training, RejectsMeanAggregation)
 {
-    graph::Graph g = graph::generateRing(10, 2);
+    // tinySubgraph samples targets {0, 10}, so the ring needs at
+    // least 11 nodes; a 10-node ring made degree(10) read past the
+    // CSR offsets array (found by ASan while validating PR 9's
+    // checked builds).
+    graph::Graph g = graph::generateRing(20, 2);
     graph::FeatureTable feat(6, 2);
     ModelConfig m = tinyModel();
     m.aggregation = Aggregation::Mean;

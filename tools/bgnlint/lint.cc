@@ -46,12 +46,40 @@ const std::vector<RuleInfo> kRules = {
      "cross-device work must travel as a timestamped sim::Mailbox "
      "message (DESIGN.md §13); only the conservative-sync seams may "
      "touch another device's queue, tagged // bgnlint:allow(BGN006)"},
+    {"BGN007",
+     "write to lane-owned state not indexed by the owning device",
+     "per-device state is touched only through its owner's lane "
+     "(DESIGN.md §16): index lane containers with a single "
+     "owning-device identifier; merge/setup seams where the driver "
+     "is quiescent carry // bgnlint:allow(BGN007) plus a comment "
+     "justifying why"},
+    {"BGN008",
+     "stale bgnlint:allow suppression",
+     "the tag masks no finding on its line span — delete it; if it "
+     "names no catalog rule, fix the rule ID"},
+    {"BGN009",
+     "include-graph layering violation",
+     "src/sim includes no other src/ directory; src/flash and "
+     "src/ssd may not include src/platforms or src/serve; "
+     "directory-level include cycles are errors (DESIGN.md §16)"},
 };
 
 bool
 startsWith(const std::string &s, std::string_view prefix)
 {
     return s.rfind(prefix, 0) == 0;
+}
+
+bool
+isPunct(const Token &t, std::string_view s)
+{
+    return t.kind == TokKind::Punct && t.text == s;
+}
+
+bool
+isIdent(const Token &t, std::string_view s)
+{
+    return t.kind == TokKind::Identifier && t.text == s;
 }
 
 // ==================================================================
@@ -165,12 +193,24 @@ nearestDecl(const DeclMap &decls, const std::string &name, int line)
 // Suppression / tag comments.
 // ==================================================================
 
+/** One bgnlint:allow(ID) occurrence; BGN008 reports it when no
+ *  finding of rule @ref id was suppressed through it. */
+struct AllowTag
+{
+    std::string id;
+    int line;          ///< Line the tag comment starts on.
+    bool used = false; ///< Set when the tag suppresses a finding.
+};
+
 struct Annotations
 {
-    /** rule -> lines on which it is allowed. */
-    std::map<std::string, std::set<int>> allow;
+    std::vector<AllowTag> tags;
+    /** rule -> covered line -> index into @ref tags. */
+    std::map<std::string, std::map<int, std::size_t>> allow;
     /** Lines carrying a bgnlint:deterministic-order tag. */
     std::set<int> orderTag;
+    /** Lines carrying a bgnlint:lane-owned tag (BGN007 table). */
+    std::set<int> laneOwned;
 };
 
 Annotations
@@ -186,6 +226,9 @@ collectAnnotations(const std::vector<Token> &all)
         if (c.find("bgnlint:deterministic-order") != std::string::npos)
             for (int l = tok.line; l <= tok.line + extra + 1; ++l)
                 ann.orderTag.insert(l);
+        if (c.find("bgnlint:lane-owned") != std::string::npos)
+            for (int l = tok.line; l <= tok.line + extra + 1; ++l)
+                ann.laneOwned.insert(l);
         std::size_t pos = c.find("bgnlint:allow(");
         while (pos != std::string::npos) {
             std::size_t open = pos + 14;
@@ -202,16 +245,121 @@ collectAnnotations(const std::vector<Token> &all)
                          id.end());
                 if (id.empty())
                     continue;
+                ann.tags.push_back({id, tok.line, false});
                 // The annotation covers its own line span plus the
                 // following line, so both trailing and preceding-line
                 // comments work.
                 for (int l = tok.line; l <= tok.line + extra + 1; ++l)
-                    ann.allow[id].insert(l);
+                    ann.allow[id].emplace(l, ann.tags.size() - 1);
             }
             pos = c.find("bgnlint:allow(", close);
         }
     }
     return ann;
+}
+
+// ==================================================================
+// Lane-owned symbol table (BGN007).
+// ==================================================================
+
+/**
+ * Cross-TU table of lane-owned state (DESIGN.md §16). Two name sets:
+ *
+ *  - @ref containers — names ever declared as a vector/array whose
+ *    element type is a per-device lane (Batch::Lane, DevicePort,
+ *    DeviceContext, SimStation) or a per-device shard
+ *    (TraceSink, VertexCache, EventQueue, possibly unique_ptr
+ *    wrapped), plus any container declaration carrying a
+ *    `bgnlint:lane-owned` tag;
+ *  - @ref members — field names of the lane classes themselves, so a
+ *    badly-indexed write is caught even when the container name is
+ *    not in the table (`anything[0].tally.merge(...)`).
+ */
+struct LaneTable
+{
+    std::set<std::string> containers;
+    std::set<std::string> members;
+};
+
+const std::set<std::string> kLaneElementTypes = {
+    "Lane",      "DevicePort",  "DeviceContext", "SimStation",
+    "TraceSink", "VertexCache", "EventQueue"};
+const std::set<std::string> kLaneClasses = {
+    "Lane", "DeviceContext", "DevicePort", "SimStation"};
+
+/** Record container declarations whose element type is a lane type:
+ *  `vector<...LaneType...> [&*] NAME`. */
+void
+collectLaneContainers(const std::vector<Token> &t, LaneTable &lane)
+{
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Identifier ||
+            !(t[i].text == "vector" || t[i].text == "array"))
+            continue;
+        if (i + 1 >= t.size() || !isPunct(t[i + 1], "<"))
+            continue;
+        std::size_t after = skipAngles(t, i + 1);
+        bool laneElem = false;
+        for (std::size_t j = i + 2; j + 1 < after; ++j)
+            if (t[j].kind == TokKind::Identifier &&
+                kLaneElementTypes.count(t[j].text) &&
+                // A name followed by :: is a scope qualifier
+                // (EventQueue::TimedEvent), not the element type.
+                !isPunct(t[j + 1], "::"))
+                laneElem = true;
+        if (!laneElem)
+            continue;
+        while (after < t.size() && t[after].kind == TokKind::Punct &&
+               (t[after].text == "&" || t[after].text == "*"))
+            ++after;
+        if (after < t.size() && t[after].kind == TokKind::Identifier)
+            lane.containers.insert(t[after].text);
+    }
+}
+
+/** Record the field names of lane-class bodies: inside
+ *  `struct|class LaneClass ... { ... }`, a depth-1 identifier
+ *  followed by `;`, `=` or `{` (and preceded by type tokens) is a
+ *  field; identifiers followed by `(` are methods and skipped. */
+void
+collectLaneMembers(const std::vector<Token> &t, LaneTable &lane)
+{
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Identifier ||
+            !kLaneClasses.count(t[i].text))
+            continue;
+        if (!(isIdent(t[i - 1], "struct") || isIdent(t[i - 1], "class")))
+            continue;
+        // Skip to the class body's '{' (past any base clause); give
+        // up at ';' (forward declaration).
+        std::size_t open = i + 1;
+        while (open < t.size() && !isPunct(t[open], "{") &&
+               !isPunct(t[open], ";"))
+            ++open;
+        if (open >= t.size() || !isPunct(t[open], "{"))
+            continue;
+        int depth = 0;
+        for (std::size_t j = open; j < t.size(); ++j) {
+            if (isPunct(t[j], "{")) {
+                ++depth;
+            } else if (isPunct(t[j], "}")) {
+                if (--depth == 0)
+                    break;
+            } else if (depth == 1 && j > 0 &&
+                       t[j].kind == TokKind::Identifier &&
+                       j + 1 < t.size()) {
+                bool fieldish = isPunct(t[j + 1], ";") ||
+                                isPunct(t[j + 1], "=") ||
+                                isPunct(t[j + 1], "{");
+                bool typed =
+                    t[j - 1].kind == TokKind::Identifier ||
+                    isPunct(t[j - 1], ">") || isPunct(t[j - 1], "*") ||
+                    isPunct(t[j - 1], "&");
+                if (fieldish && typed)
+                    lane.members.insert(t[j].text);
+            }
+        }
+    }
 }
 
 // ==================================================================
@@ -227,39 +375,42 @@ struct FileContext
     Annotations ann;
 };
 
-bool
-isPunct(const Token &t, std::string_view s)
-{
-    return t.kind == TokKind::Punct && t.text == s;
-}
-
-bool
-isIdent(const Token &t, std::string_view s)
-{
-    return t.kind == TokKind::Identifier && t.text == s;
-}
-
 class Linter
 {
   public:
-    explicit Linter(const std::set<std::string> &global_unordered)
-        : globalUnordered(global_unordered)
+    Linter(const std::set<std::string> &global_unordered,
+           const LaneTable &lane_table)
+        : globalUnordered(global_unordered), laneTable(lane_table)
     {
     }
 
-    std::vector<Finding> run(const FileContext &ctx);
+    /** Rules BGN001–BGN007 on one file. */
+    void runCore(FileContext &ctx);
+    /** BGN009 over the whole tree (cross-file include graph). */
+    void runIncludeGraph(std::vector<FileContext> &ctxs);
+    /** BGN008 on one file — must run after every other rule has had
+     *  a chance to consume the file's allow tags. */
+    void runStale(FileContext &ctx);
+
+    std::vector<Finding> take() { return std::move(out); }
 
   private:
     const std::set<std::string> &globalUnordered;
+    const LaneTable &laneTable;
     std::vector<Finding> out;
 
-    void emit(const FileContext &ctx, int line, const std::string &rule,
+    void emit(FileContext &ctx, int line, const std::string &rule,
               std::string message)
     {
         bool suppressed = false;
         auto it = ctx.ann.allow.find(rule);
-        if (it != ctx.ann.allow.end() && it->second.count(line))
-            suppressed = true;
+        if (it != ctx.ann.allow.end()) {
+            auto at = it->second.find(line);
+            if (at != it->second.end()) {
+                suppressed = true;
+                ctx.ann.tags[at->second].used = true;
+            }
+        }
         out.push_back({ctx.input->path, line, rule,
                        std::move(message), suppressed});
     }
@@ -279,12 +430,14 @@ class Linter
         return d && d->kind == DeclKind::Floating;
     }
 
-    void rule001(const FileContext &ctx);
-    void rule002(const FileContext &ctx);
-    void rule003(const FileContext &ctx);
-    void rule004(const FileContext &ctx);
-    void rule005(const FileContext &ctx);
-    void rule006(const FileContext &ctx);
+    void rule001(FileContext &ctx);
+    void rule002(FileContext &ctx);
+    void rule003(FileContext &ctx);
+    void rule004(FileContext &ctx);
+    void rule005(FileContext &ctx);
+    void rule006(FileContext &ctx);
+    void rule007(FileContext &ctx);
+    void rule008(FileContext &ctx);
 };
 
 // ---- BGN001: wall clock / ambient randomness ----------------------
@@ -295,7 +448,7 @@ const std::set<std::string> kTimeCalls = {
     "time", "gettimeofday", "clock_gettime", "timespec_get"};
 
 void
-Linter::rule001(const FileContext &ctx)
+Linter::rule001(FileContext &ctx)
 {
     const std::string &path = ctx.input->path;
     bool simCode = startsWith(path, "src/") ||
@@ -340,7 +493,7 @@ const std::set<std::string> kBeginNames = {"begin", "cbegin", "rbegin",
                                            "crbegin"};
 
 void
-Linter::rule002(const FileContext &ctx)
+Linter::rule002(FileContext &ctx)
 {
     const auto &t = ctx.code;
     for (std::size_t i = 0; i < t.size(); ++i) {
@@ -404,7 +557,7 @@ Linter::rule002(const FileContext &ctx)
 // ---- BGN003: raw new/delete ----------------------------------------
 
 void
-Linter::rule003(const FileContext &ctx)
+Linter::rule003(FileContext &ctx)
 {
     if (startsWith(ctx.input->path, "src/sim/"))
         return; // The SBO kernel owns raw storage by design.
@@ -493,7 +646,7 @@ metricNameOk(const std::string &s)
 }
 
 void
-Linter::rule004(const FileContext &ctx)
+Linter::rule004(FileContext &ctx)
 {
     const auto &t = ctx.code;
     for (std::size_t i = 0; i + 3 < t.size(); ++i) {
@@ -525,7 +678,7 @@ Linter::rule004(const FileContext &ctx)
 const std::set<std::string> kParallelCalls = {"parallelMap", "runGrid"};
 
 void
-Linter::rule005(const FileContext &ctx)
+Linter::rule005(FileContext &ctx)
 {
     const auto &t = ctx.code;
     for (std::size_t i = 0; i < t.size(); ++i) {
@@ -574,7 +727,7 @@ const std::set<std::string> kScheduleNames = {"schedule", "scheduleAt",
                                               "bulkScheduleAt"};
 
 void
-Linter::rule006(const FileContext &ctx)
+Linter::rule006(FileContext &ctx)
 {
     const std::string &path = ctx.input->path;
     bool simCode = startsWith(path, "src/") ||
@@ -612,17 +765,319 @@ Linter::rule006(const FileContext &ctx)
     }
 }
 
-std::vector<Finding>
-Linter::run(const FileContext &ctx)
+// ---- BGN007: write to lane-owned state ----------------------------
+
+/** Calls that mutate the object they are invoked on — used to decide
+ *  whether a member chain hanging off a subscripted lane access
+ *  writes lane-owned state. Conservative by construction: the rule
+ *  only fires when the subscript is not a plain device identifier. */
+const std::set<std::string> kMutatingCalls = {
+    "absorb",       "acquire",      "add",         "assign",
+    "bulkScheduleAt", "clear",      "cover",       "drain",
+    "emplace_back", "erase",        "insert",      "merge",
+    "pop_back",     "post",         "push_back",   "record",
+    "reserve",      "reset",        "resize",      "run",
+    "runUntil",     "schedule",     "scheduleAt",  "setGnnConfig",
+    "setModel",     "setTraceSink", "setValidator", "swap"};
+
+const std::set<std::string> kAssignOps = {
+    "=",  "+=", "-=",  "*=",  "/=", "%=",
+    "|=", "&=", "^=", "<<=", ">>=", "++", "--"};
+
+/** Skip a balanced (...) starting at the '(' token. */
+std::size_t
+skipParens(const std::vector<Token> &t, std::size_t i)
 {
-    out.clear();
+    int depth = 0;
+    for (; i < t.size(); ++i) {
+        if (isPunct(t[i], "("))
+            ++depth;
+        else if (isPunct(t[i], ")") && --depth == 0)
+            return i + 1;
+    }
+    return t.size();
+}
+
+void
+Linter::rule007(FileContext &ctx)
+{
+    const std::string &path = ctx.input->path;
+    bool simCode = startsWith(path, "src/") ||
+                   (startsWith(path, "tools/") &&
+                    !startsWith(path, "tools/bgnlint/"));
+    // The conservative-sync driver implements the window protocol
+    // this rule enforces; it owns every lane by construction.
+    if (!simCode || startsWith(path, "src/sim/parallel_sim."))
+        return;
+    const auto &t = ctx.code;
+
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        // (a) Subscripted access: NAME [ idx ] chain...
+        if (t[i].kind == TokKind::Identifier && i + 1 < t.size() &&
+            isPunct(t[i + 1], "[")) {
+            const std::string &container = t[i].text;
+            // First subscript decides ownership: a single plain
+            // identifier is "indexed by the owning device".
+            int depth = 0;
+            std::size_t closeIdx = 0;
+            std::size_t idxTokens = 0;
+            bool idxIdent = false;
+            for (std::size_t j = i + 1; j < t.size(); ++j) {
+                if (isPunct(t[j], "[")) {
+                    ++depth;
+                } else if (isPunct(t[j], "]")) {
+                    if (--depth == 0) {
+                        closeIdx = j;
+                        break;
+                    }
+                } else if (depth == 1) {
+                    ++idxTokens;
+                    idxIdent = t[j].kind == TokKind::Identifier;
+                }
+            }
+            if (!closeIdx)
+                continue;
+            bool deviceIndexed = idxTokens == 1 && idxIdent;
+
+            // Walk the trailing member chain; further subscripts are
+            // fine (the device dimension is the first one).
+            std::size_t j = closeIdx + 1;
+            std::string firstMember;
+            bool mutated = false;
+            while (j < t.size()) {
+                if (isPunct(t[j], "[")) {
+                    depth = 0;
+                    for (; j < t.size(); ++j) {
+                        if (isPunct(t[j], "["))
+                            ++depth;
+                        else if (isPunct(t[j], "]") && --depth == 0) {
+                            ++j;
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                if ((isPunct(t[j], ".") || isPunct(t[j], "->")) &&
+                    j + 1 < t.size() &&
+                    t[j + 1].kind == TokKind::Identifier) {
+                    const std::string &member = t[j + 1].text;
+                    if (firstMember.empty())
+                        firstMember = member;
+                    if (j + 2 < t.size() && isPunct(t[j + 2], "(")) {
+                        if (kMutatingCalls.count(member))
+                            mutated = true;
+                        j = skipParens(t, j + 2);
+                    } else {
+                        j += 2;
+                    }
+                    continue;
+                }
+                break;
+            }
+            if (!mutated && j < t.size() &&
+                t[j].kind == TokKind::Punct &&
+                kAssignOps.count(t[j].text))
+                mutated = true;
+
+            bool laneState =
+                laneTable.containers.count(container) != 0 ||
+                (!firstMember.empty() &&
+                 laneTable.members.count(firstMember) != 0);
+            if (mutated && !deviceIndexed && laneState)
+                emit(ctx, t[i].line, "BGN007",
+                     "write to lane-owned state '" + container +
+                         "[...]' not indexed by a single owning-"
+                         "device identifier — per-device state is "
+                         "touched only through its owner's lane "
+                         "(DESIGN.md §16); a quiescent merge/setup "
+                         "seam is tagged // bgnlint:allow(BGN007)");
+        }
+
+        // (b) Mutable range-for over a lane container.
+        if (isIdent(t[i], "for") && i + 1 < t.size() &&
+            isPunct(t[i + 1], "(")) {
+            int depth = 0;
+            std::size_t colon = 0, close = 0;
+            for (std::size_t j = i + 1; j < t.size(); ++j) {
+                if (isPunct(t[j], "("))
+                    ++depth;
+                else if (isPunct(t[j], ")")) {
+                    if (--depth == 0) {
+                        close = j;
+                        break;
+                    }
+                } else if (depth == 1 && isPunct(t[j], ":") && !colon) {
+                    colon = j;
+                }
+            }
+            if (!colon || close <= colon)
+                continue;
+            bool hasRef = false, hasConst = false;
+            for (std::size_t j = i + 2; j < colon; ++j) {
+                if (isPunct(t[j], "&") || isPunct(t[j], "&&"))
+                    hasRef = true;
+                if (isIdent(t[j], "const"))
+                    hasConst = true;
+            }
+            // Last identifier of the iterated expression; a call in
+            // the expression yields a fresh value — skip, as BGN002.
+            std::string name;
+            for (std::size_t j = colon + 1; j < close; ++j) {
+                if (isPunct(t[j], "(")) {
+                    name.clear();
+                    break;
+                }
+                if (t[j].kind == TokKind::Identifier)
+                    name = t[j].text;
+            }
+            if (hasRef && !hasConst && !name.empty() &&
+                laneTable.containers.count(name))
+                emit(ctx, t[i].line, "BGN007",
+                     "mutable range-for over lane container '" + name +
+                         "' touches every device's lane (DESIGN.md "
+                         "§16); only a quiescent merge/setup seam may "
+                         "do this, tagged // bgnlint:allow(BGN007) "
+                         "with a justification");
+        }
+    }
+}
+
+// ---- BGN008: stale allow suppressions ------------------------------
+
+void
+Linter::rule008(FileContext &ctx)
+{
+    // The linter's own sources spell out annotation syntax in doc
+    // comments; auditing those for staleness is self-reference.
+    if (startsWith(ctx.input->path, "tools/bgnlint/"))
+        return;
+    std::set<std::string> catalog;
+    for (const RuleInfo &r : kRules)
+        catalog.insert(r.id);
+    for (const AllowTag &tag : ctx.ann.tags) {
+        // allow(BGN008) tags only mask BGN008 findings; auditing them
+        // for staleness would chase its own tail.
+        if (tag.id == "BGN008")
+            continue;
+        if (!catalog.count(tag.id))
+            emit(ctx, tag.line, "BGN008",
+                 "bgnlint:allow(" + tag.id +
+                     ") names no catalog rule — fix the ID or delete "
+                     "the tag");
+        else if (!tag.used)
+            emit(ctx, tag.line, "BGN008",
+                 "stale suppression: bgnlint:allow(" + tag.id +
+                     ") masks no finding on its line span — delete "
+                     "it");
+    }
+}
+
+// ---- BGN009: include-graph layering --------------------------------
+
+void
+Linter::runIncludeGraph(std::vector<FileContext> &ctxs)
+{
+    // Directory-level include graph over src/: an edge src/A ->
+    // src/B for every `#include "B/..."` in a file under src/A.
+    struct Site
+    {
+        FileContext *ctx;
+        int line;
+        std::string from, to;
+    };
+    std::set<std::string> srcDirs;
+    for (const FileContext &ctx : ctxs) {
+        const std::string &p = ctx.input->path;
+        if (!startsWith(p, "src/"))
+            continue;
+        std::size_t slash = p.find('/', 4);
+        if (slash != std::string::npos)
+            srcDirs.insert(p.substr(4, slash - 4));
+    }
+
+    std::vector<Site> sites;
+    std::map<std::string, std::set<std::string>> adj;
+    for (FileContext &ctx : ctxs) {
+        const std::string &p = ctx.input->path;
+        if (!startsWith(p, "src/"))
+            continue;
+        std::size_t slash = p.find('/', 4);
+        if (slash == std::string::npos)
+            continue;
+        std::string from = p.substr(4, slash - 4);
+        const auto &t = ctx.code;
+        for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+            if (!isPunct(t[i], "#") || !isIdent(t[i + 1], "include") ||
+                t[i + 2].kind != TokKind::String)
+                continue;
+            const std::string &inc = t[i + 2].text;
+            std::size_t sl = inc.find('/');
+            if (sl == std::string::npos)
+                continue; // Same-directory include.
+            std::string to = inc.substr(0, sl);
+            if (!srcDirs.count(to) || to == from)
+                continue;
+            sites.push_back({&ctx, t[i + 2].line, from, to});
+            adj[from].insert(to);
+        }
+    }
+
+    // Reachability closure for cycle detection (the graph is a
+    // handful of directories; a DFS per node is plenty).
+    auto reaches = [&adj](const std::string &a,
+                          const std::string &b) {
+        std::set<std::string> seen;
+        std::vector<std::string> stack = {a};
+        while (!stack.empty()) {
+            std::string d = stack.back();
+            stack.pop_back();
+            if (d == b)
+                return true;
+            if (!seen.insert(d).second)
+                continue;
+            auto it = adj.find(d);
+            if (it != adj.end())
+                for (const std::string &n : it->second)
+                    stack.push_back(n);
+        }
+        return false;
+    };
+
+    for (const Site &s : sites) {
+        if (s.from == "sim")
+            emit(*s.ctx, s.line, "BGN009",
+                 "src/sim is the foundation layer and may include no "
+                 "other src/ directory, but includes src/" + s.to);
+        else if ((s.from == "flash" || s.from == "ssd") &&
+                 (s.to == "platforms" || s.to == "serve"))
+            emit(*s.ctx, s.line, "BGN009",
+                 "device-level src/" + s.from +
+                     " may not include orchestration layer src/" +
+                     s.to);
+        if (reaches(s.to, s.from))
+            emit(*s.ctx, s.line, "BGN009",
+                 "include cycle: src/" + s.from + " -> src/" + s.to +
+                     " closes a loop back to src/" + s.from +
+                     " — break the layering cycle");
+    }
+}
+
+void
+Linter::runCore(FileContext &ctx)
+{
     rule001(ctx);
     rule002(ctx);
     rule003(ctx);
     rule004(ctx);
     rule005(ctx);
     rule006(ctx);
-    return std::move(out);
+    rule007(ctx);
+}
+
+void
+Linter::runStale(FileContext &ctx)
+{
+    rule008(ctx);
 }
 
 std::string
@@ -664,11 +1119,13 @@ ruleCatalog()
 std::vector<Finding>
 lintFiles(const std::vector<FileInput> &files, const LintOptions &opt)
 {
-    // Pass 1: tokenize everything and build the cross-file set of
+    // Pass 1: tokenize everything and build the cross-file tables —
     // names ever declared as unordered containers (members declared
-    // in headers are iterated from other translation units).
+    // in headers are iterated from other translation units) and the
+    // lane-owned symbol table for BGN007.
     std::vector<FileContext> ctxs(files.size());
     std::set<std::string> globalUnordered;
+    LaneTable laneTable;
     for (std::size_t i = 0; i < files.size(); ++i) {
         ctxs[i].input = &files[i];
         ctxs[i].all = tokenize(files[i].content);
@@ -677,15 +1134,30 @@ lintFiles(const std::vector<FileInput> &files, const LintOptions &opt)
                 ctxs[i].code.push_back(tok);
         collectDecls(ctxs[i].code, ctxs[i].decls, globalUnordered);
         ctxs[i].ann = collectAnnotations(ctxs[i].all);
+        collectLaneContainers(ctxs[i].code, laneTable);
+        collectLaneMembers(ctxs[i].code, laneTable);
+        // A container declaration tagged bgnlint:lane-owned joins
+        // the table by name, whatever its element type.
+        for (const auto &[name, decls] : ctxs[i].decls)
+            for (const Decl &d : decls)
+                if (d.kind != DeclKind::Floating &&
+                    ctxs[i].ann.laneOwned.count(d.line))
+                    laneTable.containers.insert(name);
     }
 
-    // Pass 2: rules.
+    // Pass 2: per-file rules BGN001–BGN007, then the cross-file
+    // include graph (BGN009), and last the staleness audit (BGN008)
+    // — it must see which allow tags the other rules consumed. All
+    // rules always run; onlyRules filters post-hoc so BGN008's
+    // notion of "masks a finding" never depends on the filter.
     std::vector<Finding> all;
-    Linter linter(globalUnordered);
-    for (FileContext &ctx : ctxs) {
-        std::vector<Finding> fs = linter.run(ctx);
-        all.insert(all.end(), fs.begin(), fs.end());
-    }
+    Linter linter(globalUnordered, laneTable);
+    for (FileContext &ctx : ctxs)
+        linter.runCore(ctx);
+    linter.runIncludeGraph(ctxs);
+    for (FileContext &ctx : ctxs)
+        linter.runStale(ctx);
+    all = linter.take();
 
     if (!opt.onlyRules.empty()) {
         std::set<std::string> keep(opt.onlyRules.begin(),

@@ -3,7 +3,7 @@
  * bgnlint — BeaconGNN's determinism/invariant static-analysis pass
  * (DESIGN.md §11).
  *
- * Six repo-specific rules, each a named, suppressible diagnostic:
+ * Nine repo-specific rules, each a named, suppressible diagnostic:
  *
  *  - BGN001  no wall-clock / ambient randomness in simulation code
  *            (std::rand, srand, random_device, time(), any
@@ -26,16 +26,36 @@
  *            or `ctx->queue().schedule`: under the conservative
  *            parallel simulator (DESIGN.md §13) cross-device work must
  *            travel as a timestamped sim::Mailbox message; the handful
- *            of sanctioned sync seams carry an allow tag.
+ *            of sanctioned sync seams carry an allow tag;
+ *  - BGN007  no write to lane-owned state (a cross-TU symbol table of
+ *            containers whose elements are per-device lanes —
+ *            Batch::Lane, DevicePort, DeviceContext, SimStation,
+ *            per-device TraceSink/VertexCache/EventQueue shards, plus
+ *            any declaration tagged `bgnlint:lane-owned`) unless the
+ *            access is indexed by a single owning-device identifier;
+ *            literal/compound indices and mutable range-fors over a
+ *            lane container are the merge/setup seams and must carry
+ *            an allow tag justifying why the driver is quiescent;
+ *  - BGN008  stale `bgnlint:allow(ID)` suppressions: a tag that masks
+ *            no finding on its line span (or names no catalog rule)
+ *            is itself a finding, so dead suppressions cannot
+ *            accumulate and silently re-open holes;
+ *  - BGN009  include-graph layering: src/sim is the foundation and
+ *            may include no other src/ directory; src/flash and
+ *            src/ssd (device-level) may not include src/platforms or
+ *            src/serve (orchestration); directory-level include
+ *            cycles are errors.
  *
  * Suppression: `// bgnlint:allow(BGN002)` (comma-separate several
  * IDs) on the finding's line or the line directly above it.
  *
- * Scope: BGN001 and BGN006 apply under src/ and tools/ (bench/ is
- * host-side measurement harness and may read wall clocks; tools/
- * bgnlint itself names the banned constructs and is excluded); BGN003
- * exempts src/sim/ (InlineCallback's small-buffer kernel); the rest
- * apply to every scanned file.
+ * Scope: BGN001, BGN006 and BGN007 apply under src/ and tools/
+ * (bench/ is host-side measurement harness and may read wall clocks;
+ * tools/bgnlint itself names the banned constructs and is excluded);
+ * BGN003 exempts src/sim/ (InlineCallback's small-buffer kernel);
+ * BGN007 additionally exempts src/sim/parallel_sim.* (the driver
+ * implements the window protocol the rule enforces); BGN009 applies
+ * to files under src/; the rest apply to every scanned file.
  *
  * The analysis is a lightweight tokenizer pass, not a compiler: name
  * resolution is "nearest preceding declaration in the same file, else
@@ -59,7 +79,7 @@ struct Finding
 {
     std::string file; ///< Path as given (relative to scan root).
     int line = 0;
-    std::string rule; ///< "BGN001".."BGN006".
+    std::string rule; ///< "BGN001".."BGN009".
     std::string message;
     bool suppressed = false;
 };

@@ -4,6 +4,7 @@
  * 2 usage/IO error — CI gates on the exit code and parses --json.
  */
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
@@ -41,7 +42,7 @@ main(int argc, char **argv)
     std::filesystem::path root = ".";
     std::vector<std::string> paths;
     bgnlint::LintOptions opt;
-    bool json = false, hints = false;
+    bool json = false, hints = false, listRules = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -74,10 +75,9 @@ main(int argc, char **argv)
                 pos = comma == std::string::npos ? comma : comma + 1;
             }
         } else if (a == "--list-rules") {
-            for (const auto &r : bgnlint::ruleCatalog())
-                std::cout << r.id << "  " << r.title << "\n"
-                          << "        " << r.hint << "\n";
-            return 0;
+            // Handled after the full parse so a --rule filter given
+            // in either order narrows the listing too.
+            listRules = true;
         } else if (a == "-h" || a == "--help") {
             usage(std::cout);
             return 0;
@@ -98,9 +98,24 @@ main(int argc, char **argv)
             known = known || r.id == id;
         if (!known) {
             std::cerr << "bgnlint: unknown rule '" << id
-                      << "' (see --list-rules)\n";
+                      << "'; valid rules:";
+            for (const auto &r : bgnlint::ruleCatalog())
+                std::cerr << " " << r.id;
+            std::cerr << "\n";
             return 2;
         }
+    }
+
+    if (listRules) {
+        for (const auto &r : bgnlint::ruleCatalog()) {
+            if (!opt.onlyRules.empty() &&
+                std::find(opt.onlyRules.begin(), opt.onlyRules.end(),
+                          r.id) == opt.onlyRules.end())
+                continue;
+            std::cout << r.id << "  " << r.title << "\n"
+                      << "        " << r.hint << "\n";
+        }
+        return 0;
     }
 
     std::string error;
