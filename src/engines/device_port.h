@@ -68,8 +68,30 @@ struct FabricConfig
     sim::Tick p2pLatency = 0;
     /** Forwarded command descriptor size (bytes on the link). */
     std::uint32_t commandBytes = 16;
-    /** Node → owning device table (null/empty = single device). */
+    /** Node → primary-owner device table (null/empty = single
+     *  device). Replica k of a node is (owner + k) % devices —
+     *  chained declustering, mirroring platforms::Placement. */
     const std::vector<std::uint32_t> *owner = nullptr;
+    /** Replication factor R of the placement (DESIGN.md §17): the
+     *  router may serve a node from any of its R replicas. 1 routes
+     *  every command to the primary — the historical behaviour. */
+    unsigned replication = 1;
+    /** Per-device kill ticks (sim::kTickMax = healthy; null = no kill
+     *  schedule). A device is unhealthy for routing decisions made at
+     *  or after its kill tick. Borrowed from the platform runner. */
+    const std::vector<sim::Tick> *deviceKillAt = nullptr;
+
+    /** Any device scheduled to die? */
+    bool
+    anyDeviceKill() const
+    {
+        if (!deviceKillAt)
+            return false;
+        for (sim::Tick t : *deviceKillAt)
+            if (t != sim::kTickMax)
+                return true;
+        return false;
+    }
 };
 
 /** Per-device byte/command tallies of one mini-batch (array runs). */

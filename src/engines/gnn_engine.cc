@@ -163,6 +163,7 @@ struct GnnEngine::Batch
         std::uint64_t commands = 0;
         std::uint64_t dedupedReads = 0;
         std::uint64_t crossDevice = 0;
+        std::uint64_t replicaFallbacks = 0;
         bool ok = true;
         sim::Tick finishMax = 0;
         /** This device's subgraph fragment (parents packed). */
@@ -243,7 +244,12 @@ GnnEngine::GnnEngine(sim::EventQueue &queue_, std::vector<DevicePort> ports_,
             sim::fatal("GnnEngine: array without an ownership table");
         mailbox = std::make_unique<sim::Mailbox<CrossMsg>>(ports.size());
         p2pSeq.assign(ports.size(), 0);
+        laneRouted.assign(ports.size(),
+                          std::vector<std::uint64_t>(ports.size(), 0));
+        laneFallbacks.assign(ports.size(), 0);
+        hostRouted.assign(ports.size(), 0);
     }
+    laneHealth.assign(ports.size(), DeviceHealth{});
 }
 
 GnnEngine::GnnEngine(sim::EventQueue &queue_,
@@ -270,6 +276,7 @@ GnnEngine::GnnEngine(sim::EventQueue &queue_,
     // Single-device construction: device 0 is the only lane and the
     // parallel driver never runs. bgnlint:allow(BGN007)
     ports[0].queue = &queue;
+    laneHealth.assign(1, DeviceHealth{});
 }
 
 GnnEngine::~GnnEngine() = default;
@@ -294,6 +301,56 @@ GnnEngine::ownerOf(graph::NodeId node) const
     if (!fabric.owner || fabric.owner->empty())
         return 0;
     return (*fabric.owner)[node];
+}
+
+bool
+GnnEngine::healthyAt(unsigned dev, sim::Tick now) const
+{
+    if (!fabric.deviceKillAt || dev >= fabric.deviceKillAt->size())
+        return true;
+    return now < (*fabric.deviceKillAt)[dev];
+}
+
+bool
+GnnEngine::faultsArmed() const
+{
+    return fabric.replication > 1 || fabric.anyDeviceKill();
+}
+
+unsigned
+GnnEngine::routeOn(std::vector<std::uint64_t> &routed,
+                   graph::NodeId node, sim::Tick now,
+                   std::uint64_t *fallbacks)
+{
+    const unsigned prim = ownerOf(node);
+    const unsigned ndev = static_cast<unsigned>(ports.size());
+    const unsigned reps =
+        std::min(std::max(fabric.replication, 1u), ndev);
+    if (reps == 1 && !fabric.deviceKillAt)
+        return prim; // Historical single-owner routing, untouched.
+    unsigned best = kNoReplica;
+    for (unsigned k = 0; k < reps; ++k) {
+        const unsigned d = (prim + k) % ndev;
+        if (!healthyAt(d, now))
+            continue;
+        if (best == kNoReplica || routed[d] < routed[best] ||
+            (routed[d] == routed[best] && d < best))
+            best = d;
+    }
+    if (best == kNoReplica)
+        return kNoReplica;
+    ++routed[best];
+    if (fallbacks && best != prim && !healthyAt(prim, now))
+        ++*fallbacks;
+    return best;
+}
+
+DeviceHealth
+GnnEngine::healthOf(unsigned dev) const
+{
+    if (dev >= laneHealth.size())
+        return {};
+    return laneHealth[dev];
 }
 
 DispatchStats
@@ -369,10 +426,26 @@ GnnEngine::seedMulti(const std::shared_ptr<Batch> &b, sim::Tick ready)
     b->nextVisits.clear();
     // The host links to every array member: each device's targets are
     // injected at that device's frontend, preserving the submission
-    // order within a device.
+    // order within a device. Each target goes to the least-loaded
+    // healthy replica of its node (the host's own routed table — this
+    // runs on the prep thread before the driver starts).
     std::vector<std::vector<Batch::Visit>> by_dev(ports.size());
-    for (const auto &v : visits)
-        by_dev[ownerOf(v.node)].push_back(v);
+    for (const auto &v : visits) {
+        std::uint64_t fb = 0;
+        const unsigned dev = routeOn(hostRouted, v.node, ready, &fb);
+        if (fb) {
+            b->res.replicaFallbacks += fb;
+            hostFallbacks += fb;
+        }
+        if (dev == kNoReplica) {
+            // Every replica of this target is dead: the submission
+            // fails host-side before any command is injected.
+            ++b->res.tally.abortedCommands;
+            b->res.ok = false;
+            continue;
+        }
+        by_dev[dev].push_back(v);
+    }
     for (unsigned dev = 0; dev < ports.size(); ++dev) {
         if (by_dev[dev].empty())
             continue;
@@ -464,6 +537,7 @@ GnnEngine::mergeLanes(Batch &b)
         b.res.commands += l.commands;
         b.res.dedupedReads += l.dedupedReads;
         b.res.crossDevice += l.crossDevice;
+        b.res.replicaFallbacks += l.replicaFallbacks;
         if (!l.ok)
             b.res.ok = false;
         for (std::size_t h = 0;
@@ -561,6 +635,14 @@ GnnEngine::publishMetrics(sim::MetricRegistry &reg) const
     // broadcast time lives here.
     reg.gauge("engine.config_broadcast_ticks")
         .set(static_cast<double>(configDone));
+    // The fallback counter exists only when faults/replication are
+    // armed, so default snapshots stay byte-identical.
+    if (faultsArmed()) {
+        std::uint64_t fallbacks = hostFallbacks;
+        for (std::uint64_t f : laneFallbacks)
+            fallbacks += f;
+        reg.counter("engine.router.replica_fallbacks").add(fallbacks);
+    }
 }
 
 void
@@ -860,6 +942,34 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
     // ---- Flash operation --------------------------------------------
     flash::FlashOpTiming t =
         backend.read(dispatched, params.ppa, transfer_bytes, on_die);
+    if (t.failed) {
+        // The die was killed before the sense completed: the command
+        // aborts at failure-detection time. No frame parses, no page
+        // crosses the channel (the backend counted the failed read)
+        // and no children spawn.
+        const sim::Tick failed_at = t.xferEnd;
+        if (tr)
+            tr->endAsync("cmd", "cmd", span_id, failed_at);
+        ++tally.abortedCommands;
+        if (multi) {
+            lane->ok = false;
+            ++lane->commands;
+        } else {
+            b->res.ok = false;
+            ++b->res.commands;
+        }
+        ++b->res.perDevice[dev].commands;
+        unsigned fspan = std::min<unsigned>(params.hop, model.hops);
+        if (params.finalHop)
+            fspan = model.hops;
+        hops[fspan].cover(created, failed_at);
+        finish_max = std::max(finish_max, failed_at);
+        if (!multi && --b->outstanding == 0) {
+            b->res.routerStats = routerTotals();
+            finishBatch(b, b->finishMax);
+        }
+        return;
+    }
     ++tally.flashReads;
     ++b->res.perDevice[dev].flashReads;
     tally.channelBytes += transfer_bytes;
@@ -934,6 +1044,16 @@ GnnEngine::streamCommand(const std::shared_ptr<Batch> &b,
         sim::toMicros(parsed - created - wait_before - flash_time));
     cmd_stats.lifetime.add(sim::toMicros(parsed - created));
     cmd_stats.lifetimeHist.add(sim::toMicros(parsed - created));
+    // Per-device health EWMA (alpha = 1/8): this device's own view of
+    // its command latency, published as array.devD.health.* when
+    // faults are armed. Lane-owned — never a routing input shared
+    // across lanes, so determinism holds for any worker count.
+    DeviceHealth &dh = laneHealth[dev];
+    const double lat_us = sim::toMicros(parsed - created);
+    dh.latencyEwmaUs = dh.samples == 0
+                           ? lat_us
+                           : 0.875 * dh.latencyEwmaUs + 0.125 * lat_us;
+    ++dh.samples;
     unsigned span = std::min<unsigned>(params.hop, model.hops);
     if (params.finalHop)
         span = model.hops;
@@ -979,10 +1099,27 @@ GnnEngine::scheduleChild(const std::shared_ptr<Batch> &b,
     unsigned child_dev = dev;
     if (ports.size() > 1 && !child.isSecondary) {
         // Primary follow-ups may target a node another device owns;
-        // secondary sections always sit beside their primary.
+        // secondary sections always sit beside their primary. With
+        // replication the child goes to the least-loaded healthy
+        // replica (this lane's own routed table), which may well be
+        // this device — replication cuts cross-device traffic too.
         if (auto sp = layout.find(
-                dg::DgAddress(child.ppa, child.sectionIndex)))
-            child_dev = ownerOf(sp->node);
+                dg::DgAddress(child.ppa, child.sectionIndex))) {
+            std::uint64_t fb = 0;
+            child_dev =
+                routeOn(laneRouted[dev], sp->node, parsed, &fb);
+            if (fb) {
+                b->lanes[dev].replicaFallbacks += fb;
+                laneFallbacks[dev] += fb;
+            }
+            if (child_dev == kNoReplica) {
+                // Every replica of the child is dead: the follow-up
+                // is lost and the batch degrades.
+                ++b->lanes[dev].tally.abortedCommands;
+                b->lanes[dev].ok = false;
+                return;
+            }
+        }
     }
     if (child_dev == dev) {
         // Same-device follow-up: the device schedules onto its own

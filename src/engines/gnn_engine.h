@@ -158,8 +158,21 @@ struct PrepResult
     DispatchStats routerStats;
     /** Commands that crossed a P2P link (array runs; else 0). */
     std::uint64_t crossDevice = 0;
+    /** Commands routed to a surviving replica because their primary
+     *  device was killed (DESIGN.md §17; 0 without faults). */
+    std::uint64_t replicaFallbacks = 0;
     /** Per-device tallies, one entry per device of the topology. */
     std::vector<DeviceTally> perDevice;
+};
+
+/** Observed health of one device (engine's routing-side view). */
+struct DeviceHealth
+{
+    /** EWMA of this device's observed command latency (us; 0 until
+     *  the first command completes). */
+    double latencyEwmaUs = 0;
+    /** Commands the EWMA has absorbed. */
+    std::uint64_t samples = 0;
 };
 
 /**
@@ -280,11 +293,17 @@ class GnnEngine
      */
     void setTraceSink(sim::TraceSink *sink);
 
-    /** Publish engine-level instruments (config broadcast) into
-     *  @p reg. Per-device instruments (`engine.router.*`,
+    /** Publish engine-level instruments (config broadcast; with
+     *  faults/replication armed also `engine.router.replica_fallbacks`)
+     *  into @p reg. Per-device instruments (`engine.router.*`,
      *  `engine.sampler.*`) are published by the owning DeviceContext
      *  so array runs can namespace them per device. */
     void publishMetrics(sim::MetricRegistry &reg) const;
+
+    /** Observed health of device @p dev: the lane's latency EWMA over
+     *  completed commands (runner publishes `array.devD.health.*`).
+     *  Read only between batches / after the run. */
+    DeviceHealth healthOf(unsigned dev) const;
 
     /**
      * Attach the checked-build validator (DESIGN.md §16): the engine
@@ -340,8 +359,32 @@ class GnnEngine
                        flash::GnnSampleParams child, sim::Tick parsed,
                        unsigned this_channel, unsigned dev);
 
-    /** Owning device of @p node (0 without a fabric owner table). */
+    /** Primary-owner device of @p node (0 without a fabric table). */
     unsigned ownerOf(graph::NodeId node) const;
+
+    /** Is device @p dev healthy for a routing decision at @p now
+     *  (i.e. not yet killed by the fault schedule)? */
+    bool healthyAt(unsigned dev, sim::Tick now) const;
+
+    /** Faults or replication armed? (Gates the health instruments so
+     *  default runs stay byte-identical.) */
+    bool faultsArmed() const;
+
+    /** Sentinel of routeOn: no healthy replica survives. */
+    static constexpr unsigned kNoReplica = ~0u;
+
+    /**
+     * Health- and load-aware replica choice for @p node at @p now
+     * (DESIGN.md §17): among the node's replicas — replica k lives on
+     * (primary + k) % devices — pick the least-loaded healthy one by
+     * @p routed (the chooser's own routed-command table), breaking
+     * ties on the lower device id. Returns kNoReplica when every
+     * replica is dead. With replication = 1 and no kill schedule this
+     * is exactly ownerOf — the historical routing, byte-identical.
+     */
+    unsigned routeOn(std::vector<std::uint64_t> &routed,
+                     graph::NodeId node, sim::Tick now,
+                     std::uint64_t *fallbacks);
 
     /** Router statistics summed over every port (peak queue = max). */
     DispatchStats routerTotals() const;
@@ -373,6 +416,22 @@ class GnnEngine
      *  tie-break of the mailbox sort. Each entry is touched only by
      *  its own device's worker thread. */
     std::vector<std::uint64_t> p2pSeq; // bgnlint:lane-owned
+    /** Per-source-device replica routing state (DESIGN.md §17): how
+     *  many commands lane `src` has routed to each destination (the
+     *  "least-loaded" input) and how many fell back off a killed
+     *  primary. Kept per *source* lane — a shared cross-device table
+     *  would make the choice depend on worker interleave.
+     *  laneRouted[src][dst] is touched only by src's worker thread. */
+    std::vector<std::vector<std::uint64_t>> laneRouted; // bgnlint:lane-owned
+    std::vector<std::uint64_t> laneFallbacks; // bgnlint:lane-owned
+    /** Host-side routing table for batch-target seeding (seedMulti
+     *  runs on the prep thread before the driver starts). */
+    std::vector<std::uint64_t> hostRouted;
+    std::uint64_t hostFallbacks = 0;
+    /** Per-device observed-latency EWMA (array.devD.health.*): each
+     *  device measures its own completions, so entry d is touched
+     *  only by d's worker thread. */
+    std::vector<DeviceHealth> laneHealth; // bgnlint:lane-owned
     /** Checked-build hooks (DESIGN.md §16); unused when off. */
     sim::Validator *validator = nullptr;
     /** Multi-device batches awaiting completePrepared(). */

@@ -1,9 +1,24 @@
 #include "flash/backend.h"
 
 #include "sim/metrics.h"
+#include "sim/rng.h"
 #include "sim/trace_events.h"
 
 namespace beacongnn::flash {
+
+namespace {
+
+/** Stateless uniform draw in [0, 1) keyed on (seed, die, seq, round). */
+double
+disturbDraw(std::uint64_t seed, unsigned die, std::uint64_t seq,
+            unsigned round)
+{
+    std::uint64_t k = sim::splitmix64(seed ^ (std::uint64_t{die} << 40));
+    k = sim::splitmix64(k ^ seq ^ (std::uint64_t{round} << 56));
+    return static_cast<double>(k >> 11) * 0x1.0p-53;
+}
+
+} // namespace
 
 FlashBackend::FlashBackend(const FlashConfig &config, bool trace)
     : cfg(config), _codec(config), tracingIntervals(trace)
@@ -17,29 +32,89 @@ FlashBackend::FlashBackend(const FlashConfig &config, bool trace)
     prevXfer.assign(cfg.totalDies(), 0);
 }
 
+void
+FlashBackend::setDisturb(const DisturbConfig &d)
+{
+    _disturb = d;
+    dieRetryProb.assign(cfg.totalDies(), 0.0);
+    dieReadSeq.assign(cfg.totalDies(), 0);
+    dieRetries.assign(cfg.totalDies(), 0);
+    if (!d.armed())
+        return;
+    // Seeded per-die severity: each die's retry probability is the
+    // base scaled by a factor in [0.5, 1.5), so the array of dies
+    // degrades unevenly like a real device.
+    for (unsigned die = 0; die < cfg.totalDies(); ++die) {
+        double f = 0.5 + disturbDraw(sim::splitmix64(d.seed), die, 0, 0);
+        dieRetryProb[die] = std::min(1.0, d.retryProb * f);
+    }
+}
+
+void
+FlashBackend::killDieAt(unsigned global_idx, sim::Tick at)
+{
+    if (dieKillAt.empty())
+        dieKillAt.assign(cfg.totalDies(), sim::kTickMax);
+    dieKillAt.at(global_idx) = std::min(dieKillAt[global_idx], at);
+    _hasKills = true;
+}
+
 FlashOpTiming
 FlashBackend::read(sim::Tick ready, Ppa ppa, std::uint32_t transfer_bytes,
                    sim::Tick on_die_compute)
 {
     PageLocation loc = _codec.decode(ppa);
     sim::Bus &ch = channels[loc.channel];
-    sim::Bus &d = dies[loc.channel * cfg.diesPerChannel + loc.die];
+    unsigned die_at = loc.channel * cfg.diesPerChannel + loc.die;
+    sim::Bus &d = dies[die_at];
 
     FlashOpTiming t;
     // Command/address cycles are modelled as fixed latency: they are
     // two orders of magnitude shorter than a data-out and interleave
     // freely between transfers on real channels.
     t.cmdStart = ready;
+
+    // A killed die fails the read at command time: the status poll
+    // discovers the dead die after the command cycles, no sense or
+    // transfer happens, and the caller sees FlashOpTiming::failed.
+    if (_hasKills && ready >= dieKillAt[die_at]) {
+        t.failed = true;
+        t.senseStart = t.senseEnd = ready + cfg.commandOverhead;
+        t.xferStart = t.xferEnd = t.senseEnd;
+        ++_failedReads;
+        return t;
+    }
+
+    // Disturbance model: each retry round re-draws against this die's
+    // severity-scaled probability, re-senses and pays an ECC soft-
+    // decode — all of it occupying the die, so disturbed dies are
+    // slow dies and channel back-pressure follows naturally.
+    sim::Tick retry_time = 0;
+    if (_disturb.armed()) {
+        std::uint64_t seq = dieReadSeq[die_at]++;
+        while (t.retries < _disturb.maxRetries &&
+               disturbDraw(_disturb.seed, die_at, seq, t.retries) <
+                   dieRetryProb[die_at])
+            ++t.retries;
+        if (t.retries > 0) {
+            retry_time = static_cast<sim::Tick>(t.retries) *
+                         (cfg.readLatency + _disturb.eccLatency);
+            dieRetries[die_at] += t.retries;
+            _retries += t.retries;
+        }
+    }
+
     // Array sense plus any on-die sampler time occupies the die.
-    sim::Grant sense = d.acquire(ready + cfg.commandOverhead,
-                                 cfg.readLatency + on_die_compute);
+    sim::Grant sense =
+        d.acquire(ready + cfg.commandOverhead,
+                  cfg.readLatency + on_die_compute + retry_time);
     t.senseStart = sense.start;
     t.senseEnd = sense.end;
     // Data-out serializes on the channel bus.
     sim::Grant xfer = ch.acquire(sense.end, cfg.channelTime(transfer_bytes));
     t.xferStart = xfer.start;
     t.xferEnd = xfer.end;
-    unsigned die_idx = loc.channel * cfg.diesPerChannel + loc.die;
+    unsigned die_idx = die_at;
     ++_reads;
     if (traceSink) {
         traceSink->complete("sense", "flash", tracePidBase + kTraceDiePid,
@@ -159,11 +234,20 @@ FlashBackend::publishMetrics(sim::MetricRegistry &reg) const
     reg.counter("flash.erases").add(_erases);
     reg.counter("flash.die_busy_ticks").add(totalDieBusy());
     reg.counter("flash.channel_busy_ticks").add(totalChannelBusy());
+    // Disturbance instruments exist only when the model is armed (or
+    // a die kill is scheduled), so undisturbed snapshots stay byte-
+    // identical to the historical backend's.
+    if (_disturb.armed())
+        reg.counter("flash.retries").add(_retries);
+    if (_hasKills)
+        reg.counter("flash.failed_reads").add(_failedReads);
     for (unsigned d = 0; d < dieCount(); ++d) {
         const sim::Bus &die_bus = dies[d];
         reg.counter(dieMetricName(d, "sense_ticks"))
             .add(die_bus.busyTime());
         reg.counter(dieMetricName(d, "reads")).add(die_bus.requests());
+        if (_disturb.armed())
+            reg.counter(dieMetricName(d, "retries")).add(dieRetries[d]);
         if (tracingIntervals) {
             reg.interval(dieMetricName(d, "busy_intervals"))
                 .merge(die_bus.intervals());
@@ -214,6 +298,11 @@ FlashBackend::resetStats()
         d.resetStats();
     prevXfer.assign(cfg.totalDies(), 0);
     _reads = _programs = _erases = 0;
+    _retries = _failedReads = 0;
+    if (!dieReadSeq.empty())
+        dieReadSeq.assign(cfg.totalDies(), 0);
+    if (!dieRetries.empty())
+        dieRetries.assign(cfg.totalDies(), 0);
 }
 
 } // namespace beacongnn::flash

@@ -22,6 +22,7 @@
 
 #include "flash/address.h"
 #include "flash/config.h"
+#include "flash/disturb.h"
 #include "sim/resources.h"
 
 namespace beacongnn::sim {
@@ -39,6 +40,11 @@ struct FlashOpTiming
     sim::Tick senseEnd = 0;   ///< Sense + on-die compute complete.
     sim::Tick xferStart = 0;  ///< Data-out begins (channel).
     sim::Tick xferEnd = 0;    ///< Result fully off the die.
+    /** Read-retry rounds this sense needed (disturbance model). */
+    unsigned retries = 0;
+    /** The target die was killed: no data came back (DESIGN.md §17).
+     *  senseEnd/xferEnd hold the failure-detection time. */
+    bool failed = false;
 
     sim::Tick total(sim::Tick ready) const { return xferEnd - ready; }
 };
@@ -110,6 +116,29 @@ class FlashBackend
     std::uint64_t erases() const { return _erases; }
 
     /**
+     * Arm the per-die disturbance model (DESIGN.md §17). Call before
+     * the first read; an unarmed (default) backend draws nothing and
+     * publishes no disturbance instruments, so its timing and metrics
+     * stay byte-identical to the historical backend.
+     */
+    void setDisturb(const DisturbConfig &d);
+    const DisturbConfig &disturb() const { return _disturb; }
+
+    /**
+     * Kill one die at @p at: reads targeting it at or after that tick
+     * fail (FlashOpTiming::failed) instead of sensing, occupying the
+     * die only for the command cycles that discover the failure.
+     */
+    void killDieAt(unsigned global_idx, sim::Tick at);
+    /** Any die kill scheduled (regardless of whether it fired)? */
+    bool hasDieKills() const { return _hasKills; }
+
+    /** Read-retry rounds performed so far (all dies). */
+    std::uint64_t retries() const { return _retries; }
+    /** Reads that failed against a killed die so far. */
+    std::uint64_t failedReads() const { return _failedReads; }
+
+    /**
      * Publish the backend's instruments into @p reg under the
      * `flash.` namespace: device-wide op counters and busy ticks,
      * plus per-unit `flash.ch<c>[.die<d>].*` counters (and
@@ -154,6 +183,19 @@ class FlashBackend
     std::uint64_t _reads = 0;
     std::uint64_t _programs = 0;
     std::uint64_t _erases = 0;
+    // ---- Disturbance model (DESIGN.md §17; unarmed by default) ----
+    DisturbConfig _disturb;
+    /** Per-die retry probability (base x seeded severity factor). */
+    std::vector<double> dieRetryProb;
+    /** Per-die read sequence numbers keying the retry draws. */
+    std::vector<std::uint64_t> dieReadSeq;
+    /** Per-die retry-round tallies (flash.chC.dieD.retries). */
+    std::vector<std::uint64_t> dieRetries;
+    /** Per-die kill tick (kTickMax = healthy). */
+    std::vector<sim::Tick> dieKillAt;
+    bool _hasKills = false;
+    std::uint64_t _retries = 0;
+    std::uint64_t _failedReads = 0;
     sim::TraceSink *traceSink = nullptr;
     std::uint32_t tracePidBase = 0;
 };

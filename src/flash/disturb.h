@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Per-die flash disturbance model (DESIGN.md §17): seeded read-retry
+ * probability with ECC latency inflation, plus die kill schedules.
+ *
+ * Real NAND dies degrade unevenly — read disturb, retention loss and
+ * wear push some dies into read-retry territory long before others.
+ * The model captures the tail-latency consequence the routing layer
+ * must absorb: a retried sense occupies the die for an extra
+ * sense + ECC soft-decode round per retry, so a disturbed die is a
+ * slow die, and a killed die fails its reads outright.
+ *
+ * Determinism: every retry decision is a stateless hash of
+ * (seed, die, per-die read sequence, round). A device's reads execute
+ * in its event-lane order, so the sequence numbers — and therefore
+ * the whole disturbance timeline — are a pure function of the run
+ * configuration, independent of the worker count.
+ */
+
+#ifndef BEACONGNN_FLASH_DISTURB_H
+#define BEACONGNN_FLASH_DISTURB_H
+
+#include <cstdint>
+
+#include "sim/types.h"
+
+namespace beacongnn::flash {
+
+/** Read-disturbance configuration of one device's backend. */
+struct DisturbConfig
+{
+    /**
+     * Base per-read probability that a sense needs a read-retry
+     * round. Each die scales it by a seeded per-die severity factor
+     * in [0.5, 1.5), so dies degrade unevenly; each retry round
+     * re-draws, giving a geometric retry-count distribution. 0
+     * (default) arms nothing and changes no timing or metrics.
+     */
+    double retryProb = 0.0;
+    /** Retry rounds after which the controller gives up and returns
+     *  the best-effort (still ECC-correctable) data. */
+    unsigned maxRetries = 4;
+    /** ECC soft-decode latency added per retry round, on top of the
+     *  re-sense itself. */
+    sim::Tick eccLatency = sim::microseconds(2);
+    /** Seed of the per-die severity factors and retry draws. */
+    std::uint64_t seed = 0xD15Bull;
+
+    bool armed() const { return retryProb > 0.0; }
+};
+
+} // namespace beacongnn::flash
+
+#endif // BEACONGNN_FLASH_DISTURB_H

@@ -36,6 +36,9 @@ struct ArrayConfig
     sim::Tick p2pLatency = sim::microseconds(1); ///< Link hop latency.
     std::uint32_t commandBytes = 16; ///< Forwarded command descriptor.
     PartitionPolicy partition = PartitionPolicy::Hash;
+    /** Replication factor R of the placement (DESIGN.md §17); 1 is
+     *  the historical single-owner partition, byte-identically. */
+    unsigned replication = 1;
 
     /** The equivalent run topology. */
     TopologyConfig
@@ -47,6 +50,7 @@ struct ArrayConfig
         t.p2pLatency = p2pLatency;
         t.commandBytes = commandBytes;
         t.partition = partition;
+        t.replication = replication;
         return t;
     }
 };

@@ -4,6 +4,7 @@
 
 #include "sim/log.h"
 #include "sim/metrics.h"
+#include "sim/rng.h"
 #include "sim/trace_events.h"
 
 namespace beacongnn::platforms {
@@ -38,6 +39,16 @@ DeviceContext::DeviceContext(const PlatformConfig &platform,
                                                         "p2p");
     if (cache_cfg.enabled())
         _cache = std::make_unique<cache::VertexCache>(cache_cfg);
+    if (system.disturb.armed()) {
+        // Each device derives its own disturbance seed, so an array
+        // does not replay identical per-die severity maps on every
+        // member — while the derivation stays a pure function of
+        // (run seed, device index).
+        flash::DisturbConfig d = system.disturb;
+        d.seed = sim::splitmix64(
+            d.seed ^ (0x9E3779B97F4A7C15ull * (std::uint64_t{index} + 1)));
+        _backend.setDisturb(d);
+    }
 }
 
 engines::DevicePort

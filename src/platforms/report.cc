@@ -60,7 +60,22 @@ summaryLine(const RunResult &r)
        << std::setprecision(3)
        << 1000.0 * r.energy.total() /
               static_cast<double>(std::max<std::uint64_t>(1, r.targets))
-       << " mJ/target" << (r.ok ? "" : " [FAILED]");
+       << " mJ/target";
+    if (r.degraded()) {
+        // A faulted run says *what* was down and how the placement
+        // absorbed it, instead of a bare [FAILED].
+        ss << (r.ok ? " [degraded:" : " [FAILED, degraded:");
+        ss << " down =";
+        for (const KillEvent &k : r.faults) {
+            ss << " dev" << k.device;
+            if (k.die >= 0)
+                ss << ".die" << k.die;
+        }
+        ss << ", R = " << r.replication << ", "
+           << r.replicaFallbacks << " replica fallbacks]";
+    } else if (!r.ok) {
+        ss << " [FAILED]";
+    }
     return ss.str();
 }
 

@@ -59,8 +59,13 @@ struct PlatformSession::Impl
     RunConfig run;
     const WorkloadBundle &bundle;
 
-    /** Node ownership map (degenerate for a single device). */
-    Partition partition;
+    /** Replica-aware node placement (degenerate for a single device;
+     *  DESIGN.md §17). */
+    Placement placement;
+    /** Per-device whole-device kill ticks (sim::kTickMax = healthy);
+     *  borrowed by the engine's replica router when the run schedules
+     *  faults. */
+    std::vector<sim::Tick> deviceKillAt;
     /** The SSDs of the topology (one for a plain run); each owns its
      *  event queue (its local clock, DESIGN.md §13). */
     std::vector<std::unique_ptr<DeviceContext>> devices;
@@ -90,6 +95,7 @@ struct PlatformSession::Impl
     /** Per-device tallies summed over batches. */
     std::vector<engines::DeviceTally> devTallies;
     std::uint64_t crossDeviceTotal = 0;
+    std::uint64_t replicaFallbacksTotal = 0;
 
     Impl(const PlatformConfig &p, const RunConfig &r,
          const WorkloadBundle &b)
@@ -104,8 +110,9 @@ struct PlatformSession::Impl
                 sim::fatal("PlatformSession: multi-device topologies "
                            "require a streaming (DirectGraph) "
                            "platform, not " + p.name);
-            partition = Partition::build(b.graph, topo.partition,
-                                         topo.devices);
+            placement = Placement::build(b.graph, topo.partition,
+                                         topo.devices,
+                                         topo.effectiveReplication());
         }
         std::vector<engines::DevicePort> ports;
         for (unsigned d = 0; d < topo.devices; ++d) {
@@ -116,11 +123,42 @@ struct PlatformSession::Impl
         }
         devTallies.resize(devices.size());
 
+        // Apply the fault schedule (DESIGN.md §17): a single-die kill
+        // fails only the reads landing on that die; a whole-device
+        // kill fails every die *and* removes the device from the
+        // engine's replica routing from its kill tick on.
+        deviceKillAt.assign(topo.devices, sim::kTickMax);
+        for (const KillEvent &k : run.kills) {
+            if (k.device >= topo.devices)
+                sim::fatal("PlatformSession: kill schedule names "
+                           "device " + std::to_string(k.device) +
+                           " of a " + std::to_string(topo.devices) +
+                           "-device topology");
+            flash::FlashBackend &be = devices[k.device]->backend();
+            const unsigned dies = be.dieCount();
+            if (k.die >= 0) {
+                if (static_cast<unsigned>(k.die) >= dies)
+                    sim::fatal("PlatformSession: kill schedule names "
+                               "die " + std::to_string(k.die) +
+                               " of a " + std::to_string(dies) +
+                               "-die device");
+                be.killDieAt(static_cast<unsigned>(k.die), k.at);
+            } else {
+                for (unsigned die = 0; die < dies; ++die)
+                    be.killDieAt(die, k.at);
+                deviceKillAt[k.device] =
+                    std::min(deviceKillAt[k.device], k.at);
+            }
+        }
+
         engines::FabricConfig fabric;
         fabric.p2pLatency = topo.p2pLatency;
         fabric.commandBytes = topo.commandBytes;
         fabric.owner =
-            partition.table().empty() ? nullptr : &partition.table();
+            placement.table().empty() ? nullptr : &placement.table();
+        fabric.replication = topo.effectiveReplication();
+        if (!run.kills.empty())
+            fabric.deviceKillAt = &deviceKillAt;
         engine = std::make_unique<engines::GnnEngine>(
             devices[0]->queue(), std::move(ports), b.layout, b.graph,
             active, p.flags, *b.source, fabric);
@@ -162,6 +200,8 @@ struct PlatformSession::Impl
         res.platform = platform.name;
         res.workload = bundle.name;
         res.devices = topo.devices;
+        res.replication = topo.effectiveReplication();
+        res.faults = run.kills;
     }
 };
 
@@ -256,6 +296,7 @@ PlatformSession::runBatch(sim::Tick ready,
     s.reg.counter("run.batches").add(1);
     s.reg.counter("run.targets").add(targets.size());
     s.crossDeviceTotal += pr.crossDevice;
+    s.replicaFallbacksTotal += pr.replicaFallbacks;
     for (std::size_t d = 0; d < s.devTallies.size(); ++d)
         s.devTallies[d].merge(pr.perDevice[d]);
 
@@ -326,6 +367,7 @@ PlatformSession::finish()
                           : static_cast<double>(res.crossDevice) /
                                 static_cast<double>(res.commands);
     res.perDevice = s.devTallies;
+    res.replicaFallbacks = s.replicaFallbacksTotal;
 
     res.prepTime = s.prepFree;
     res.totalTime = std::max(s.prepFree, s.lastComputeEnd);
@@ -486,6 +528,31 @@ PlatformSession::finish()
         reg.counter("array.p2p.forwards").add(forwards);
         reg.counter("array.p2p.bytes").add(p2p_bytes);
         reg.counter("array.p2p.busy_ticks").add(p2p_busy);
+
+        // Health/fault instruments exist only when replication or a
+        // fault model is armed, so default array snapshots stay
+        // byte-identical to the historical ones.
+        const bool faults_armed =
+            s.run.topology.effectiveReplication() > 1 ||
+            !s.run.kills.empty() || s.run.system.disturb.armed();
+        if (faults_armed) {
+            reg.gauge("array.replication")
+                .set(static_cast<double>(res.replication));
+            reg.counter("array.replica_fallbacks")
+                .add(res.replicaFallbacks);
+            for (std::size_t d = 0; d < ndev; ++d) {
+                const std::string prefix =
+                    "array.dev" + std::to_string(d) + ".health.";
+                const engines::DeviceHealth h = s.engine->healthOf(
+                    static_cast<unsigned>(d));
+                reg.gauge(prefix + "latency_ewma_us")
+                    .set(h.latencyEwmaUs);
+                reg.counter(prefix + "samples").add(h.samples);
+                reg.gauge(prefix + "alive")
+                    .set(s.deviceKillAt[d] == sim::kTickMax ? 1.0
+                                                            : 0.0);
+            }
+        }
     }
 
     // Cache-tier instruments exist only when the run configured a

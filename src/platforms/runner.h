@@ -71,6 +71,20 @@ std::unique_ptr<WorkloadBundle> makeBundle(
     const graph::WorkloadSpec &spec, const flash::FlashConfig &flash_cfg,
     gnn::ModelConfig model, graph::NodeId node_override = 0);
 
+/**
+ * One scheduled fault of the run: device @ref device stops serving
+ * reads at tick @ref at — the whole device when @ref die is negative,
+ * one die (device-local index) otherwise. A whole-device kill also
+ * removes the device from the engine's replica routing; a single-die
+ * kill only fails the reads that land on that die.
+ */
+struct KillEvent
+{
+    unsigned device = 0;
+    int die = -1; ///< Device-local die index; -1 = whole device.
+    sim::Tick at = 0;
+};
+
 /** Run parameters. */
 struct RunConfig
 {
@@ -98,6 +112,10 @@ struct RunConfig
      *  bundle layout stays feature-dim compatible). nullopt (default)
      *  runs the bundle model — the historical behaviour. */
     std::optional<gnn::ModelSpec> model;
+    /** Fault schedule (DESIGN.md §17): die/device kills applied to the
+     *  flash backends and the replica router. Empty (default) runs the
+     *  historical fault-free simulation, byte-identically. */
+    std::vector<KillEvent> kills{};
 };
 
 /** Everything measured in one run. */
@@ -143,6 +161,16 @@ struct RunResult
     double crossFraction = 0;
     /** Per-device command/byte tallies (devices entries). */
     std::vector<engines::DeviceTally> perDevice;
+
+    // Fault-injection view (DESIGN.md §17; defaults without faults).
+    unsigned replication = 1;      ///< Effective replication factor.
+    /** The applied kill schedule (empty = fault-free run). */
+    std::vector<KillEvent> faults;
+    /** Commands served by a surviving replica because their primary
+     *  device was killed. */
+    std::uint64_t replicaFallbacks = 0;
+    /** Any device/die down this run? */
+    bool degraded() const { return !faults.empty(); }
 };
 
 /** Timing of one mini-batch's trip through the platform pipeline. */

@@ -10,6 +10,7 @@
 #ifndef BEACONGNN_PLATFORMS_TOPOLOGY_H
 #define BEACONGNN_PLATFORMS_TOPOLOGY_H
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -34,8 +35,23 @@ struct TopologyConfig
     sim::Tick p2pLatency = sim::microseconds(1); ///< Link hop latency.
     std::uint32_t commandBytes = 16; ///< Forwarded command descriptor.
     PartitionPolicy partition = PartitionPolicy::Hash;
+    /**
+     * Replication factor R of the placement layer (DESIGN.md §17):
+     * every node is served by R distinct devices (chained
+     * declustering off its policy-assigned primary), clamped to the
+     * device count. R = 1 (default) is exactly the historical single-
+     * owner partition — byte-identical by construction.
+     */
+    unsigned replication = 1;
 
     bool multi() const { return devices > 1; }
+
+    /** Effective replication factor (clamped to the device count). */
+    unsigned
+    effectiveReplication() const
+    {
+        return std::max(1u, std::min(replication, devices));
+    }
 
     /**
      * Conservative-DES lookahead of the fabric (DESIGN.md §13): a

@@ -7,21 +7,42 @@ namespace beacongnn::serve {
 void
 printRateHeader()
 {
-    std::printf("%10s %10s %9s %9s %9s %9s %8s %7s %6s %4s\n",
+    std::printf("%10s %10s %9s %9s %9s %9s %9s %8s %7s %6s %4s\n",
                 "rate(r/s)", "thru(r/s)", "mean(ms)", "p50(ms)",
-                "p95(ms)", "p99(ms)", "viol(%)", "batch", "peakQ",
-                "sat");
+                "p95(ms)", "p99(ms)", "p99.9(ms)", "viol(%)", "batch",
+                "peakQ", "sat");
 }
 
 void
 printRateRow(const ServeResult &r)
 {
-    std::printf("%10.0f %10.0f %9.2f %9.2f %9.2f %9.2f %8.1f %7.1f "
-                "%6zu %4s\n",
+    // One bucket walk resolves the whole percentile set.
+    const std::vector<double> ps =
+        r.percentiles({0.5, 0.95, 0.99, 0.999});
+    std::printf("%10.0f %10.0f %9.2f %9.2f %9.2f %9.2f %9.2f %8.1f "
+                "%7.1f %6zu %4s\n",
                 r.offeredRate, r.achievedRate, r.totalUs.mean() / 1e3,
-                r.p(50) / 1e3, r.p(95) / 1e3, r.p(99) / 1e3,
+                ps[0] / 1e3, ps[1] / 1e3, ps[2] / 1e3, ps[3] / 1e3,
                 r.violationPct(), r.meanBatchSize, r.peakQueueDepth,
                 r.saturated() ? "*" : "");
+}
+
+void
+printDegraded(const ServeResult &r)
+{
+    if (!r.degraded())
+        return;
+    std::printf("    degraded: down =");
+    for (const platforms::KillEvent &k : r.faults) {
+        std::printf(" dev%u", k.device);
+        if (k.die >= 0)
+            std::printf(".die%d", k.die);
+    }
+    std::printf(", R = %u, %llu replica fallbacks, %.0f req/s "
+                "degraded throughput\n",
+                r.replication,
+                static_cast<unsigned long long>(r.replicaFallbacks),
+                r.achievedRate);
 }
 
 void
@@ -65,20 +86,22 @@ writeServeCsvHeader(std::ostream &os)
 {
     os << "platform,workload,offered_rps,achieved_rps,requests,"
           "batches,mean_batch,peak_queue,makespan_ms,queue_us,prep_us,"
-          "compute_us,mean_us,p50_us,p95_us,p99_us,viol_pct,"
+          "compute_us,mean_us,p50_us,p95_us,p99_us,p999_us,viol_pct,"
           "saturated\n";
 }
 
 void
 writeServeCsvRow(std::ostream &os, const ServeResult &r)
 {
+    const std::vector<double> ps =
+        r.percentiles({0.5, 0.95, 0.99, 0.999});
     os << r.platform << ',' << r.workload << ',' << r.offeredRate
        << ',' << r.achievedRate << ',' << r.requests << ','
        << r.batches << ',' << r.meanBatchSize << ','
        << r.peakQueueDepth << ',' << sim::toMillis(r.makespan) << ','
        << r.queueingUs.mean() << ',' << r.prepUs.mean() << ','
        << r.computeUs.mean() << ',' << r.totalUs.mean() << ','
-       << r.p(50) << ',' << r.p(95) << ',' << r.p(99) << ','
+       << ps[0] << ',' << ps[1] << ',' << ps[2] << ',' << ps[3] << ','
        << r.violationPct() << ',' << (r.saturated() ? 1 : 0) << '\n';
 }
 

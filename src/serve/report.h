@@ -24,6 +24,11 @@ void printRateRow(const ServeResult &r);
 /** Print the per-QoS-class latency/SLO breakdown of one result. */
 void printClassBreakdown(const ServeResult &r);
 
+/** Print the degraded-mode line of a faulted run (down devices/dies,
+ *  replication factor, replica fallbacks, degraded throughput);
+ *  no-op when the run was fault-free. */
+void printDegraded(const ServeResult &r);
+
 /**
  * Print "<platform> on <workload> sustains up to N req/s": the
  * highest offered rate in @p results (all same platform/workload)

@@ -127,6 +127,9 @@ serveWorkload(const platforms::PlatformConfig &platform,
     res.crossDevice = rr.crossDevice;
     res.crossFraction = rr.crossFraction;
     res.perDevice = rr.perDevice;
+    res.replication = rr.replication;
+    res.faults = rr.faults;
+    res.replicaFallbacks = rr.replicaFallbacks;
 
     if (metrics) {
         // Fold the session registry in, then the serving layer's own
@@ -166,6 +169,16 @@ serveWorkload(const platforms::PlatformConfig &platform,
                           gnn::modelKindName(specs[mid].kind) +
                           ".requests")
                 .add(res.perModelRequests[mid]);
+        }
+        // Fault/degraded instruments exist only when a fault model or
+        // replication is armed, so default snapshots stay identical.
+        if (res.degraded() || res.replication > 1) {
+            metrics->gauge("serve.replication")
+                .set(static_cast<double>(res.replication));
+            metrics->gauge("serve.degraded")
+                .set(res.degraded() ? 1.0 : 0.0);
+            metrics->counter("serve.replica_fallbacks")
+                .add(res.replicaFallbacks);
         }
         if (res.devices > 1) {
             metrics->gauge("serve.devices")

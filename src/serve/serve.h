@@ -105,6 +105,15 @@ struct ServeResult
      *  empty on a single-model run). */
     std::vector<std::uint64_t> perModelRequests;
 
+    // Fault-injection view (DESIGN.md §17; defaults when fault-free).
+    unsigned replication = 1;      ///< Effective replication factor.
+    /** The applied kill schedule (empty = fault-free run). */
+    std::vector<platforms::KillEvent> faults;
+    /** Commands served by a surviving replica of a killed device. */
+    std::uint64_t replicaFallbacks = 0;
+    /** Did the stream run with devices/dies down? */
+    bool degraded() const { return !faults.empty(); }
+
     /** Share of all flash commands device @p d executed (0..1). */
     double
     deviceShare(std::size_t d) const
@@ -117,6 +126,15 @@ struct ServeResult
 
     /** Total-latency percentile in microseconds. */
     double p(double pct) const { return latencyUs.percentile(pct); }
+
+    /** Batch total-latency percentiles (fractions in [0, 1], e.g.
+     *  {0.5, 0.99, 0.999}), microseconds — one bucket walk for the
+     *  whole set (sim::Histogram::percentiles). */
+    std::vector<double>
+    percentiles(const std::vector<double> &qs) const
+    {
+        return latencyUs.percentiles(qs);
+    }
 
     std::uint64_t
     violations() const

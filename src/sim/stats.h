@@ -156,6 +156,69 @@ class Histogram
         return acc.max();
     }
 
+    /**
+     * Batch quantile estimates: one bucket walk resolves every
+     * requested quantile, using exactly the percentile() math
+     * (linear interpolation within the owning bucket, overflow bucket
+     * interpolated against the observed maximum, clamped to the
+     * sample range), so `percentiles({q})[0] == percentile(100 * q)`.
+     *
+     * @param qs Quantiles as fractions in [0, 1] — e.g.
+     *           {0.5, 0.99, 0.999} for p50 / p99 / p99.9. Results are
+     *           returned in the same order (the input need not be
+     *           sorted). High quantiles stay accurate because the
+     *           walk interpolates within the owning bucket instead of
+     *           returning bucket midpoints: with B buckets the error
+     *           is bounded by one bucket width even at p99.9.
+     */
+    std::vector<double>
+    percentiles(const std::vector<double> &qs) const
+    {
+        std::vector<double> out(qs.size(), 0.0);
+        if (acc.count() == 0 || qs.empty())
+            return out;
+        // Resolve targets in rank order during one walk; `order`
+        // restores the caller's ordering afterwards.
+        std::vector<std::size_t> order(qs.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return qs[a] < qs[b];
+                  });
+        const double n = static_cast<double>(acc.count());
+        std::size_t next = 0;
+        double seen = 0;
+        for (std::size_t i = 0; i < counts.size() && next < order.size();
+             ++i) {
+            if (counts[i] == 0)
+                continue;
+            double upto = seen + static_cast<double>(counts[i]);
+            while (next < order.size()) {
+                double target =
+                    std::clamp(qs[order[next]], 0.0, 1.0) * n;
+                if (target <= 0.0) {
+                    out[order[next++]] = acc.min();
+                    continue;
+                }
+                if (upto < target)
+                    break;
+                double lo = static_cast<double>(i) * width;
+                double frac =
+                    (target - seen) / static_cast<double>(counts[i]);
+                double hi = (i + 1 == counts.size())
+                                ? std::max(acc.max(), lo) // overflow
+                                : lo + width;
+                out[order[next++]] = std::clamp(lo + frac * (hi - lo),
+                                                acc.min(), acc.max());
+            }
+            seen = upto;
+        }
+        while (next < order.size())
+            out[order[next++]] = acc.max();
+        return out;
+    }
+
     /** Approximate quantile (linear within bucket). */
     double
     quantile(double q) const

@@ -13,6 +13,7 @@
 #define BEACONGNN_SSD_CONFIG_H
 
 #include "flash/config.h"
+#include "flash/disturb.h"
 #include "sim/types.h"
 
 namespace beacongnn::ssd {
@@ -81,6 +82,12 @@ struct SystemConfig
     ControllerConfig controller{};
     EngineConfig engine{};
     HostConfig host{};
+    /** Per-die read-disturbance model (DESIGN.md §17). Unarmed by
+     *  default: zero retry probability draws nothing, inflates no
+     *  timing and publishes no instruments. Array runs derive each
+     *  device's seed from this one, so the dies of different devices
+     *  degrade independently. */
+    flash::DisturbConfig disturb{};
 };
 
 } // namespace beacongnn::ssd

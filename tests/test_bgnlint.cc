@@ -319,6 +319,46 @@ void publish(Reg &reg) {
     EXPECT_EQ(got, want);
 }
 
+TEST(Bgn004, HealthAndRouterNamespacesAccepted)
+{
+    // The fault-injection instruments of DESIGN.md §17: per-die retry
+    // counters, per-device health, and the replica router.
+    auto fs = lintOne("src/platforms/fixture.cc", R"cpp(
+void publish(Reg &reg) {
+    reg.counter("flash.ch0.die3.retries").add(2);
+    reg.counter("flash.failed_reads").add(1);
+    reg.gauge("array.dev2.health.latency_ewma_us").set(12.5);
+    reg.counter("array.dev2.health.samples").add(9);
+    reg.gauge("array.dev2.health.alive").set(1.0);
+    reg.counter("engine.router.replica_fallbacks").add(3);
+    reg.counter("array.replica_fallbacks").add(3);
+    reg.gauge("serve.degraded").set(1.0);
+    reg.gauge("serve.replication").set(2.0);
+}
+)cpp");
+    EXPECT_TRUE(fs.empty());
+}
+
+TEST(Bgn004, HealthAndRouterLeavesClosed)
+{
+    auto bad = lintOne("src/platforms/bad.cc", R"cpp(
+void publish(Reg &reg) {
+    reg.gauge("array.dev0.health.latency").set(1.0);
+    reg.counter("array.dev0.health").add(1);
+    reg.counter("array.dev0.health.alive.total").add(1);
+    reg.counter("engine.router.fallbacks").add(1);
+}
+)cpp");
+    auto got = ruleLines(bad);
+    std::vector<std::pair<std::string, int>> want = {
+        {"BGN004", 3}, // 'latency' is not a health leaf
+        {"BGN004", 4}, // bare health namespace
+        {"BGN004", 5}, // extra nesting below a health leaf
+        {"BGN004", 6}, // 'fallbacks' is not a router leaf
+    };
+    EXPECT_EQ(got, want);
+}
+
 TEST(Bgn004, ModelNamespaceGrammar)
 {
     // The model zoo (DESIGN.md §15) publishes under the `model.` root:

@@ -290,6 +290,65 @@ TEST(Percentile, OverflowBucketClampsToObservedMax)
     EXPECT_GT(h.percentile(99), 40.0);
 }
 
+TEST(Percentile, BatchHandComputedUniform)
+{
+    // The same 100-sample stream as HandComputedUniform, resolved in
+    // one bucket walk; quantiles are fractions, not percents.
+    sim::Histogram h(10.0, 128);
+    for (int i = 0; i < 100; ++i)
+        h.add(10.0 * i + 5.0);
+    const std::vector<double> ps =
+        h.percentiles({0.0, 0.5, 0.95, 1.0});
+    ASSERT_EQ(ps.size(), 4u);
+    EXPECT_DOUBLE_EQ(ps[0], 5.0);   // clamps to observed minimum
+    EXPECT_DOUBLE_EQ(ps[1], 500.0); // p50
+    EXPECT_DOUBLE_EQ(ps[2], 950.0); // p95
+    EXPECT_DOUBLE_EQ(ps[3], 995.0); // clamps to observed maximum
+}
+
+TEST(Percentile, BatchMatchesSingleCallsEverywhere)
+{
+    // Contract: percentiles({q})[0] == percentile(100 * q) for any q,
+    // including the high-tail quantiles the serve tables print.
+    sim::Histogram h(10.0, 64);
+    h.add(5.0);
+    h.add(1000.0); // overflow bucket
+    h.add(2000.0);
+    h.add(3000.0);
+    const std::vector<double> qs = {0.0,  0.25, 0.5,  0.75,
+                                    0.95, 0.99, 0.999, 1.0};
+    const std::vector<double> batch = h.percentiles(qs);
+    ASSERT_EQ(batch.size(), qs.size());
+    for (std::size_t i = 0; i < qs.size(); ++i)
+        EXPECT_DOUBLE_EQ(batch[i], h.percentile(100.0 * qs[i]))
+            << "q = " << qs[i];
+}
+
+TEST(Percentile, BatchPreservesUnsortedInputOrder)
+{
+    sim::Histogram h(10.0, 16);
+    for (int i = 0; i < 10; ++i)
+        h.add(10.0 * i + 5.0);
+    // Deliberately unsorted (and duplicated) quantiles: results come
+    // back in the caller's order.
+    const std::vector<double> ps =
+        h.percentiles({0.99, 0.5, 0.99});
+    ASSERT_EQ(ps.size(), 3u);
+    EXPECT_DOUBLE_EQ(ps[0], h.percentile(99));
+    EXPECT_DOUBLE_EQ(ps[1], h.percentile(50));
+    EXPECT_DOUBLE_EQ(ps[2], ps[0]);
+}
+
+TEST(Percentile, BatchEmptyHistogramIsAllZero)
+{
+    sim::Histogram h(10.0, 8);
+    const std::vector<double> ps = h.percentiles({0.5, 0.999});
+    ASSERT_EQ(ps.size(), 2u);
+    EXPECT_DOUBLE_EQ(ps[0], 0.0);
+    EXPECT_DOUBLE_EQ(ps[1], 0.0);
+    EXPECT_TRUE(h.percentiles({}).empty());
+}
+
 // ---------------------------------------------------------------- end to end
 
 std::unique_ptr<platforms::WorkloadBundle>

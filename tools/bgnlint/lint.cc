@@ -594,6 +594,16 @@ const std::set<std::string> kMetricRoots = {
 // silently forking the namespace.
 const std::set<std::string> kCacheLeaves = {
     "hits", "misses", "fills", "evictions", "bytes", "hit_rate"};
+// The health namespace (array.devD.health.*) has a closed leaf set,
+// same rationale: the fault-injection instruments must not fork.
+const std::set<std::string> kHealthLeaves = {"latency_ewma_us",
+                                             "samples", "alive"};
+// engine.router.* covers both the channel router (DESIGN.md §6) and
+// the replica router (§17); a closed leaf set keeps the two from
+// silently forking.
+const std::set<std::string> kRouterLeaves = {
+    "commands_routed", "frames_parsed", "cross_channel", "peak_queue",
+    "replica_fallbacks"};
 // The model namespace has a closed second segment: a model-zoo kind
 // or the algo sub-namespace (which take further leaves), or one of
 // the session-level leaves (terminal). A misspelled model metric
@@ -630,11 +640,20 @@ metricNameOk(const std::string &s)
                 return false;
     }
     for (std::size_t i = 1; i < parts.size(); ++i) {
-        if (parts[i] != "cache")
-            continue;
-        // "cache" must be second-to-last with a known leaf.
-        if (i + 2 != parts.size() || !kCacheLeaves.count(parts[i + 1]))
-            return false;
+        if (parts[i] == "cache") {
+            // "cache" must be second-to-last with a known leaf.
+            if (i + 2 != parts.size() ||
+                !kCacheLeaves.count(parts[i + 1]))
+                return false;
+        } else if (parts[i] == "health") {
+            if (i + 2 != parts.size() ||
+                !kHealthLeaves.count(parts[i + 1]))
+                return false;
+        } else if (parts[i] == "router") {
+            if (i + 2 != parts.size() ||
+                !kRouterLeaves.count(parts[i + 1]))
+                return false;
+        }
     }
     if (parts[0] == "model") {
         if (kModelGroups.count(parts[1]))
@@ -666,7 +685,12 @@ Linter::rule004(FileContext &ctx)
                      "(flash|ssd|engine|accel|energy|serve|run|array|"
                      "model).lower_snake[.lower_snake...]; a cache "
                      "segment takes exactly one leaf of hits|misses|"
-                     "fills|evictions|bytes|hit_rate; the model root "
+                     "fills|evictions|bytes|hit_rate; a health segment "
+                     "takes exactly one leaf of latency_ewma_us|"
+                     "samples|alive; a router segment takes exactly "
+                     "one leaf of commands_routed|frames_parsed|"
+                     "cross_channel|peak_queue|replica_fallbacks; "
+                     "the model root "
                      "takes gcn|gin|gat|algo (with leaves) or a "
                      "session leaf (kind_id|hops|fanout_total|"
                      "feature_dim|hidden_dim|edge_coeff_bytes)");

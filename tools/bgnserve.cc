@@ -23,6 +23,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,14 @@ usage(const char *argv0, int status = 2)
         "parallel simulator's lookahead)\n"
         "  --partition NAME    hash|range|balanced graph partition "
         "(default hash)\n"
+        "  --replication N     replicas per node (chained "
+        "declustering, clamped to --devices; default 1)\n"
+        "  --retry-prob X      per-die flash read-retry probability "
+        "scale (default 0 = off)\n"
+        "  --die-kill SPEC[,SPEC...]  kill schedule: DEV@US kills a "
+        "whole device,\n"
+        "                      DEV.DIE@US one die, at US "
+        "microseconds\n"
         "  --cache-mb X        per-device DRAM vertex cache capacity "
         "in MiB (default 0 = off)\n"
         "  --cache-policy NAME lru|mslru|fifo eviction policy "
@@ -102,6 +111,39 @@ splitList(const std::string &csv)
         pos = comma + 1;
     }
     return out;
+}
+
+/** Parse one --die-kill spec: "DEV@US" (whole device) or
+ *  "DEV.DIE@US" (one die), US in microseconds. */
+std::optional<platforms::KillEvent>
+parseKillEvent(const std::string &spec)
+{
+    const std::size_t at = spec.find('@');
+    if (at == std::string::npos || at == 0 || at + 1 >= spec.size())
+        return std::nullopt;
+    const std::string target = spec.substr(0, at);
+    const std::string when = spec.substr(at + 1);
+    platforms::KillEvent k;
+    char *end = nullptr;
+    k.device = static_cast<unsigned>(
+        std::strtoul(target.c_str(), &end, 10));
+    if (end == target.c_str())
+        return std::nullopt;
+    if (*end == '.') {
+        const char *die_s = end + 1;
+        long die = std::strtol(die_s, &end, 10);
+        if (end == die_s || *end != '\0' || die < 0)
+            return std::nullopt;
+        k.die = static_cast<int>(die);
+    } else if (*end != '\0') {
+        return std::nullopt;
+    }
+    const unsigned long long us =
+        std::strtoull(when.c_str(), &end, 10);
+    if (end == when.c_str() || *end != '\0')
+        return std::nullopt;
+    k.at = sim::microseconds(static_cast<sim::Tick>(us));
+    return k;
 }
 
 } // namespace
@@ -201,6 +243,30 @@ main(int argc, char **argv)
             }
             rc.topology.partition = *p;
         }
+        else if (a == "--replication") rc.topology.replication =
+            static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        else if (a == "--retry-prob") {
+            rc.system.disturb.retryProb = std::strtod(next(), nullptr);
+            if (rc.system.disturb.retryProb < 0.0 ||
+                rc.system.disturb.retryProb > 1.0) {
+                std::fprintf(stderr, "bgnserve: --retry-prob must be "
+                                     "in [0, 1]\n");
+                return 2;
+            }
+        }
+        else if (a == "--die-kill") {
+            for (const std::string &spec : splitList(next())) {
+                auto k = parseKillEvent(spec);
+                if (!k) {
+                    std::fprintf(stderr,
+                                 "bgnserve: bad --die-kill '%s' (want "
+                                 "DEV@US or DEV.DIE@US)\n",
+                                 spec.c_str());
+                    return 2;
+                }
+                rc.kills.push_back(*k);
+            }
+        }
         else if (a == "--cache-mb") {
             rc.cache.capacityMB = std::strtod(next(), nullptr);
             if (rc.cache.capacityMB <= 0.0) {
@@ -294,6 +360,19 @@ main(int argc, char **argv)
     if (rc.topology.devices == 0) {
         std::fprintf(stderr, "bgnserve: --devices must be >= 1\n");
         return 2;
+    }
+    if (rc.topology.replication == 0) {
+        std::fprintf(stderr, "bgnserve: --replication must be >= 1\n");
+        return 2;
+    }
+    for (const platforms::KillEvent &k : rc.kills) {
+        if (k.device >= rc.topology.devices) {
+            std::fprintf(stderr,
+                         "bgnserve: --die-kill names device %u of a "
+                         "%u-device topology\n",
+                         k.device, rc.topology.devices);
+            return 2;
+        }
     }
     if (rc.topology.multi()) {
         for (platforms::PlatformKind k : kinds) {
@@ -392,6 +471,7 @@ main(int argc, char **argv)
                 const ServeResult &res = results[(k * nw + w) * nr + r];
                 ok = ok && res.ok;
                 printRateRow(res);
+                printDegraded(res);
                 if (breakdown)
                     printClassBreakdown(res);
                 if (csv.is_open())

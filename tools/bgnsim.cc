@@ -85,6 +85,14 @@ usage(const char *argv0)
         "                      simulator's lookahead — 0 serializes)\n"
         "  --partition NAME    hash|range|balanced graph partition "
         "(default hash)\n"
+        "  --replication N     replicas per node (chained "
+        "declustering, clamped to --devices; default 1)\n"
+        "  --retry-prob X      per-die flash read-retry probability "
+        "scale (default 0 = off)\n"
+        "  --die-kill SPEC[,SPEC...]  kill schedule: DEV@US kills a "
+        "whole device,\n"
+        "                      DEV.DIE@US one die, at US "
+        "microseconds\n"
         "  --cache-mb X        per-device DRAM vertex cache capacity "
         "in MiB (default 0 = off)\n"
         "  --cache-policy NAME lru|mslru|fifo eviction policy "
@@ -99,6 +107,39 @@ usage(const char *argv0)
         "only; open in Perfetto)\n",
         argv0);
     std::exit(2);
+}
+
+/** Parse one --die-kill spec: "DEV@US" (whole device) or
+ *  "DEV.DIE@US" (one die), US in microseconds. */
+std::optional<platforms::KillEvent>
+parseKillEvent(const std::string &spec)
+{
+    const std::size_t at = spec.find('@');
+    if (at == std::string::npos || at == 0 || at + 1 >= spec.size())
+        return std::nullopt;
+    const std::string target = spec.substr(0, at);
+    const std::string when = spec.substr(at + 1);
+    platforms::KillEvent k;
+    char *end = nullptr;
+    k.device = static_cast<unsigned>(
+        std::strtoul(target.c_str(), &end, 10));
+    if (end == target.c_str())
+        return std::nullopt;
+    if (*end == '.') {
+        const char *die_s = end + 1;
+        long die = std::strtol(die_s, &end, 10);
+        if (end == die_s || *end != '\0' || die < 0)
+            return std::nullopt;
+        k.die = static_cast<int>(die);
+    } else if (*end != '\0') {
+        return std::nullopt;
+    }
+    const unsigned long long us =
+        std::strtoull(when.c_str(), &end, 10);
+    if (end == when.c_str() || *end != '\0')
+        return std::nullopt;
+    k.at = sim::microseconds(static_cast<sim::Tick>(us));
+    return k;
 }
 
 std::vector<std::string>
@@ -223,6 +264,30 @@ main(int argc, char **argv)
             }
             rc.topology.partition = *p;
         }
+        else if (a == "--replication") rc.topology.replication =
+            static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+        else if (a == "--retry-prob") {
+            rc.system.disturb.retryProb = std::strtod(next(), nullptr);
+            if (rc.system.disturb.retryProb < 0.0 ||
+                rc.system.disturb.retryProb > 1.0) {
+                std::fprintf(stderr, "bgnsim: --retry-prob must be "
+                                     "in [0, 1]\n");
+                return 2;
+            }
+        }
+        else if (a == "--die-kill") {
+            for (const std::string &spec : splitList(next())) {
+                auto k = parseKillEvent(spec);
+                if (!k) {
+                    std::fprintf(stderr,
+                                 "bgnsim: bad --die-kill '%s' (want "
+                                 "DEV@US or DEV.DIE@US)\n",
+                                 spec.c_str());
+                    return 2;
+                }
+                rc.kills.push_back(*k);
+            }
+        }
         else if (a == "--cache-mb") {
             rc.cache.capacityMB = std::strtod(next(), nullptr);
             if (rc.cache.capacityMB <= 0.0) {
@@ -297,6 +362,19 @@ main(int argc, char **argv)
     if (rc.topology.devices == 0) {
         std::fprintf(stderr, "bgnsim: --devices must be >= 1\n");
         return 2;
+    }
+    if (rc.topology.replication == 0) {
+        std::fprintf(stderr, "bgnsim: --replication must be >= 1\n");
+        return 2;
+    }
+    for (const platforms::KillEvent &k : rc.kills) {
+        if (k.device >= rc.topology.devices) {
+            std::fprintf(stderr,
+                         "bgnsim: --die-kill names device %u of a "
+                         "%u-device topology\n",
+                         k.device, rc.topology.devices);
+            return 2;
+        }
     }
     if (rc.topology.multi()) {
         for (PlatformKind k : kinds) {
